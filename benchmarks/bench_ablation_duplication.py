@@ -1,0 +1,86 @@
+"""Ablation: MP3 pipeline stage duplication under random tile crashes.
+
+The thesis duplicates IPs in the case studies (§4.1.1) but runs the MP3
+pipeline unduplicated — so any stage tile is a single point of failure.
+This bench quantifies what duplication buys: completion rate under
+random tile crashes, with and without a replica per stage.
+"""
+
+import numpy as np
+
+from repro.apps import run_on_noc
+from repro.core.protocol import StochasticProtocol
+from repro.faults import FaultConfig, FaultInjector
+from repro.mp3 import ParallelMp3App
+from repro.noc import Mesh2D, NocSimulator
+
+PRIMARIES = (0, 1, 2, 3, 7)
+REPLICAS = (8, 9, 12, 13, 14)
+
+
+def _completion_rate(duplicated: bool, n_dead: int, trials: int = 8, seed: int = 0):
+    mesh = Mesh2D(4, 4)
+    completions = 0
+    for trial in range(trials):
+        run_seed = seed + 211 * trial
+        injector = FaultInjector(
+            FaultConfig.fault_free(), np.random.default_rng(run_seed)
+        )
+        # Keep the survivors connected and never kill both replicas of a
+        # stage: those are connectivity/assignment failures, not the
+        # single-point-of-failure question this ablation asks.
+        while True:
+            plan = injector.crash_plan_with_exact_counts(
+                mesh.tile_ids,
+                mesh.links,
+                n_dead_tiles=n_dead,
+                protected_tiles=frozenset(),
+            )
+            if not mesh.is_connected(excluding=plan.dead_tiles):
+                continue
+            if duplicated and any(
+                p in plan.dead_tiles and r in plan.dead_tiles
+                for p, r in zip(PRIMARIES, REPLICAS)
+            ):
+                continue
+            break
+        app = ParallelMp3App(
+            n_frames=4,
+            granule=144,
+            stage_tiles=PRIMARIES,
+            replica_tiles=REPLICAS if duplicated else None,
+            skip_after=40,
+        )
+        sim = NocSimulator(
+            mesh,
+            StochasticProtocol(0.6),
+            seed=run_seed,
+            default_ttl=20,
+            crash_plan=plan,
+        )
+        run_on_noc(app, sim, max_rounds=800)
+        completions += app.report().encoding_complete
+    return completions / trials
+
+
+def test_ablation_stage_duplication(benchmark, shape_report):
+    def sweep():
+        return {
+            (duplicated, n_dead): _completion_rate(duplicated, n_dead)
+            for duplicated in (False, True)
+            for n_dead in (0, 2, 4)
+        }
+
+    rates = benchmark(sweep)
+    # Fault-free both configurations complete.
+    assert rates[(False, 0)] == 1.0
+    assert rates[(True, 0)] == 1.0
+    # Under random crashes the unduplicated pipeline loses runs whenever
+    # a stage tile dies (each crash has a 5/16 chance of hitting one);
+    # duplication restores (near-)full completion.
+    assert rates[(True, 4)] >= rates[(False, 4)]
+    assert rates[(True, 4)] >= 0.8
+    assert rates[(False, 4)] < 1.0
+    shape_report["ablation_duplication"] = {
+        f"dup={d},dead={n}": rate for (d, n), rate in rates.items()
+    }

@@ -1,0 +1,78 @@
+"""Ablation: random-error-vector vs random-bit-error corruption (Ch. 2).
+
+The two bit-level models stress the CRC differently: a full scramble
+escapes a w-bit code with probability ~2^-w, while sparse bit flips are
+*always* caught (any error burst shorter than the CRC width is).  This
+bench measures both escape rates and confirms the protocol-level outcome
+is insensitive to the model choice — the thesis' justification for
+exploring the fault space with either.
+"""
+
+import numpy as np
+
+from repro.core.protocol import StochasticProtocol
+from repro.crc import CRC16_CCITT
+from repro.faults import FaultConfig, RandomBitError, RandomErrorVector
+from repro.noc import Mesh2D, NocSimulator
+
+
+def _escape_rate(model, trials=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    codeword = CRC16_CCITT.encode(b"some stochastic payload")
+    escapes = sum(
+        CRC16_CCITT.check(model.corrupt(codeword, rng)) for _ in range(trials)
+    )
+    return escapes / trials
+
+
+def test_ablation_crc_escape_rates(benchmark, shape_report):
+    def measure():
+        return {
+            "vector": _escape_rate(RandomErrorVector()),
+            "bit_sparse": _escape_rate(RandomBitError(0.01)),
+        }
+
+    rates = benchmark(measure)
+    # Full scrambles escape at ~2^-16 (i.e. ~0 out of 4000 trials)...
+    assert rates["vector"] <= 5 / 4000
+    # ...and sparse flips (short bursts) are always caught.
+    assert rates["bit_sparse"] == 0.0
+    shape_report["ablation_crc_escape"] = rates
+
+
+def test_ablation_protocol_insensitive_to_error_model(benchmark, shape_report):
+    from tests.test_engine import OneShotProducer, Sink
+
+    def run_with(model_name, trials=8):
+        rounds = []
+        for seed in range(trials):
+            sim = NocSimulator(
+                Mesh2D(4, 4),
+                StochasticProtocol(0.5),
+                FaultConfig(p_upset=0.5, error_model=model_name),
+                seed=seed,
+                default_ttl=60,
+            )
+            sink = Sink()
+            sim.mount(0, OneShotProducer(15))
+            sim.mount(15, sink)
+            result = sim.run(300)
+            assert result.completed
+            rounds.append(result.rounds)
+        return float(np.mean(rounds))
+
+    def sweep():
+        return {
+            "vector": run_with("vector"),
+            "bit": run_with("bit"),
+        }
+
+    means = benchmark(sweep)
+    # Same upset probability -> statistically similar latency impact,
+    # whichever bit-level model scrambles the payloads.
+    assert abs(means["vector"] - means["bit"]) <= 0.6 * max(
+        means["vector"], means["bit"]
+    )
+    shape_report["ablation_error_models"] = {
+        name: round(value, 1) for name, value in means.items()
+    }

@@ -1,0 +1,49 @@
+"""Ablation: the TTL knob — bandwidth/energy vs delivery reliability.
+
+§3.2.2: the TTL bounds how long a message consumes bandwidth, "directly
+connected to the bandwidth used and the energy dissipated"; set it too
+low and distant deliveries start failing.  This bench maps that frontier
+on a 4x4 mesh at p = 0.5 for the worst-case corner-to-corner pair.
+"""
+
+from repro.core.protocol import StochasticProtocol
+from repro.noc import Mesh2D, NocSimulator
+
+
+def _measure(ttl: int, trials: int = 15, seed: int = 0):
+    from tests.test_engine import OneShotProducer, Sink
+
+    delivered = 0
+    transmissions = 0
+    for trial in range(trials):
+        sim = NocSimulator(
+            Mesh2D(4, 4), StochasticProtocol(0.5), seed=seed + trial
+        )
+        sink = Sink()
+        sim.mount(0, OneShotProducer(15, ttl=ttl))
+        sim.mount(15, sink)
+        result = sim.run(ttl + 5, until=lambda s: False)
+        delivered += bool(sink.packets)
+        transmissions += result.stats.transmissions_delivered
+    return delivered / trials, transmissions / trials
+
+
+def test_ablation_ttl_frontier(benchmark, shape_report):
+    def sweep():
+        return {ttl: _measure(ttl) for ttl in (4, 6, 8, 12, 20)}
+
+    rows = benchmark(sweep)
+    rates = [rows[ttl][0] for ttl in (4, 6, 8, 12, 20)]
+    costs = [rows[ttl][1] for ttl in (4, 6, 8, 12, 20)]
+    # Reliability rises with TTL; bandwidth cost rises monotonically.
+    assert rates[0] < 1.0  # TTL below the distance-6 requirement fails
+    assert rates[-1] == 1.0
+    assert all(b >= a for a, b in zip(rates, rates[1:]))
+    assert all(b > a for a, b in zip(costs, costs[1:]))
+    shape_report["ablation_ttl"] = {
+        f"ttl={ttl}": {
+            "delivery": round(rate, 2),
+            "tx": round(tx, 1),
+        }
+        for ttl, (rate, tx) in rows.items()
+    }

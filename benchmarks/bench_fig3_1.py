@@ -1,0 +1,30 @@
+"""Benchmark E1/E12: Fig 3-1 — rumor spreading in a 1000-node network."""
+
+from repro.experiments import fig3_1
+
+
+def test_fig3_1_spread_curve(benchmark, shape_report):
+    curve = benchmark(fig3_1.run, n=1000, repetitions=3, seed=0)
+    # Thesis: all 1000 nodes reached in < 20 rounds.
+    assert curve.rounds_to_all < 20
+    # Simulation tracks the Eq. 1 deterministic approximation.
+    for simulated, deterministic in zip(
+        curve.simulated[4:12], curve.deterministic[4:12]
+    ):
+        assert abs(simulated - deterministic) / deterministic < 0.4
+    shape_report["fig3_1"] = {
+        "rounds_to_all": curve.rounds_to_all,
+        "predicted": round(curve.predicted_rounds, 1),
+    }
+
+
+def test_fig3_1_scaling_is_logarithmic(benchmark, shape_report):
+    curves = benchmark(
+        fig3_1.run_scaling, sizes=(64, 256, 1024), repetitions=2, seed=1
+    )
+    rounds = [c.rounds_to_all for c in curves]
+    # Quadrupling n adds a roughly constant number of rounds (log growth).
+    first_jump = rounds[1] - rounds[0]
+    second_jump = rounds[2] - rounds[1]
+    assert abs(second_jump - first_jump) <= 4
+    shape_report["fig3_1_scaling"] = {"rounds": rounds}

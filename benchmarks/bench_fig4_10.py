@@ -1,0 +1,55 @@
+"""Benchmark E8: Fig 4-10 — overflow and sync-error impact on latency."""
+
+from repro.experiments import fig4_10
+
+
+def test_fig4_10_overflow_panel(benchmark, shape_report):
+    points = benchmark(
+        fig4_10.run_overflow,
+        levels=(0.0, 0.4, 0.6, 0.95),
+        n_frames=5,
+        granule=144,
+        repetitions=3,
+        max_rounds=1500,
+    )
+    by_level = {pt.level: pt for pt in points}
+    # Flat region: moderate drop rates complete reliably with bounded
+    # latency growth.
+    assert by_level[0.0].completion_rate == 1.0
+    assert by_level[0.4].completion_rate == 1.0
+    assert (
+        by_level[0.6].latency_rounds_mean
+        < 6 * max(by_level[0.0].latency_rounds_mean, 1)
+    )
+    # Point A: beyond ~80-90 % the encoding cannot complete.
+    assert by_level[0.95].completion_rate < 1.0
+    shape_report["fig4_10_overflow"] = {
+        f"{level:.2f}": (
+            round(pt.latency_rounds_mean, 1),
+            round(pt.completion_rate, 2),
+        )
+        for level, pt in sorted(by_level.items())
+    }
+
+
+def test_fig4_10_sync_panel(benchmark, shape_report):
+    points = benchmark(
+        fig4_10.run_synchronization,
+        levels=(0.0, 0.25, 0.75),
+        n_frames=5,
+        granule=144,
+        repetitions=3,
+        max_rounds=1500,
+    )
+    # Synchronization errors never prevent completion...
+    assert all(pt.completion_rate == 1.0 for pt in points)
+    # ...but they add jitter (variance) at high sigma.
+    clean, _, skewed = points
+    assert skewed.latency_rounds_std >= clean.latency_rounds_std
+    shape_report["fig4_10_sync"] = {
+        f"{pt.level:.2f}": (
+            round(pt.latency_rounds_mean, 1),
+            round(pt.latency_rounds_std, 2),
+        )
+        for pt in points
+    }

@@ -1,0 +1,45 @@
+"""Benchmark E9: Fig 4-11 — output bit-rate under overflow / sync errors."""
+
+from repro.experiments import fig4_11
+
+
+def test_fig4_11_bitrate_vs_overflow(benchmark, shape_report):
+    points = benchmark(
+        fig4_11.run_overflow,
+        levels=(0.0, 0.3, 0.6, 0.95),
+        n_frames=5,
+        granule=144,
+        repetitions=3,
+        max_rounds=1500,
+    )
+    by_level = {pt.level: pt for pt in points}
+    clean_rate = by_level[0.0].bitrate_bps_mean
+    # Thesis: sustainable bit-rates with as much as 60 % dropped packets.
+    assert by_level[0.6].bitrate_bps_mean >= 0.7 * clean_rate
+    # Extreme loss collapses the output.
+    assert by_level[0.95].bitrate_bps_mean < 0.7 * clean_rate
+    # Quality (our decoder extension) degrades monotonically-ish.
+    assert by_level[0.95].snr_db_mean <= by_level[0.0].snr_db_mean
+    shape_report["fig4_11_overflow"] = {
+        f"{level:.2f}": round(pt.bitrate_bps_mean)
+        for level, pt in sorted(by_level.items())
+    }
+
+
+def test_fig4_11_bitrate_vs_sync(benchmark, shape_report):
+    points = benchmark(
+        fig4_11.run_synchronization,
+        levels=(0.0, 0.5, 0.75),
+        n_frames=5,
+        granule=144,
+        repetitions=3,
+        max_rounds=1500,
+    )
+    clean = points[0].bitrate_bps_mean
+    # Thesis: "even very important synchronization error levels do not
+    # have a great impact on the bit-rate".
+    for pt in points:
+        assert abs(pt.bitrate_bps_mean - clean) <= 0.2 * clean
+    shape_report["fig4_11_sync"] = {
+        f"{pt.level:.2f}": round(pt.bitrate_bps_mean) for pt in points
+    }

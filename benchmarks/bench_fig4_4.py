@@ -1,0 +1,52 @@
+"""Benchmark E3: Fig 4-4 — latency & energy vs tile crashes, 4 protocols."""
+
+from repro.experiments import fig4_4
+
+
+def test_fig4_4_master_slave(benchmark, shape_report):
+    points = benchmark(
+        fig4_4.run,
+        "master_slave",
+        dead_tile_counts=(0, 2, 4),
+        repetitions=4,
+        max_rounds=300,
+    )
+    by_key = {(pt.forward_probability, pt.n_dead_tiles): pt for pt in points}
+    # Flooding is latency-optimal; p = 0.25 is cheapest on energy.
+    assert (
+        by_key[(1.0, 0)].latency_rounds <= by_key[(0.25, 0)].latency_rounds
+    )
+    assert by_key[(1.0, 0)].energy_j > by_key[(0.25, 0)].energy_j
+    # Crashes have modest latency impact at p >= 0.5 (thesis: "the number
+    # of tile failures does not have a big impact on latency").
+    assert (
+        by_key[(0.5, 4)].latency_rounds
+        <= 4 * max(by_key[(0.5, 0)].latency_rounds, 1)
+    )
+    shape_report["fig4_4_master_slave"] = {
+        f"p={p},dead={d}": round(pt.latency_rounds, 1)
+        for (p, d), pt in sorted(by_key.items())
+    }
+
+
+def test_fig4_4_fft2d(benchmark, shape_report):
+    points = benchmark(
+        fig4_4.run,
+        "fft2d",
+        dead_tile_counts=(0, 2),
+        repetitions=4,
+        max_rounds=300,
+    )
+    by_key = {(pt.forward_probability, pt.n_dead_tiles): pt for pt in points}
+    # Thesis band: 5-8 rounds at p = 0.5 vs ~4 for flooding.
+    assert by_key[(1.0, 0)].latency_rounds <= by_key[(0.5, 0)].latency_rounds
+    # Energy ordering follows p across the sweep.
+    assert (
+        by_key[(0.25, 0)].energy_j
+        < by_key[(0.5, 0)].energy_j
+        < by_key[(1.0, 0)].energy_j
+    )
+    shape_report["fig4_4_fft2d"] = {
+        f"p={p},dead={d}": round(pt.latency_rounds, 1)
+        for (p, d), pt in sorted(by_key.items())
+    }

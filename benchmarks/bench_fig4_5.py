@@ -1,0 +1,29 @@
+"""Benchmark E4: Fig 4-5 — latency surface over (crashes x upsets)."""
+
+from repro.experiments import fig4_5
+
+
+def test_fig4_5_latency_surface(benchmark, shape_report):
+    points = benchmark(
+        fig4_5.run,
+        dead_tile_counts=(0, 2),
+        upset_levels=(0.0, 0.5, 0.9),
+        repetitions=2,
+        max_rounds=2500,
+    )
+    grid = {(pt.n_dead_tiles, pt.p_upset): pt for pt in points}
+    # Upsets dominate the surface: latency at 90 % upsets far exceeds the
+    # crash axis's effect (thesis: "data upsets increase the latency
+    # considerably" while tile failures barely move it).
+    clean = grid[(0, 0.0)].latency_rounds
+    heavy_upsets = grid[(0, 0.9)].latency_rounds
+    crashed = grid[(2, 0.0)].latency_rounds
+    assert heavy_upsets > 3 * clean
+    assert crashed < 3 * clean
+    # The algorithm "does not give up": even at 90 % it terminates.
+    assert grid[(0, 0.9)].completion_rate > 0.0
+    shape_report["fig4_5"] = {
+        "clean": round(clean, 1),
+        "upset90": round(heavy_upsets, 1),
+        "crashed2": round(crashed, 1),
+    }

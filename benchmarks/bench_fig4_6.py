@@ -1,0 +1,24 @@
+"""Benchmark E5: Fig 4-6 — stochastic NoC vs shared bus."""
+
+from repro.experiments import fig4_6
+
+
+def test_fig4_6_bus_comparison(benchmark, shape_report):
+    comparison = benchmark(fig4_6.run, n_runs=3, n_terms=400, seed=0)
+    # Thesis: latency ~11x better on the NoC (links are short and
+    # parallel; the bus serialises).  Accept the same order of magnitude.
+    assert comparison.latency_ratio > 5.0
+    # Thesis: energy "at about the same level" (+5 % under the delivered-
+    # path accounting); our path figure must land at the bus's order.
+    assert 0.1 < comparison.path_energy_ratio < 1.5
+    # Even charging every redundant gossip copy, the premium stays small.
+    assert comparison.gross_energy_ratio < 5.0
+    # Thesis: energy x delay 7e-12 (NoC) vs 133e-12 (bus) J*s/bit.
+    assert comparison.noc_energy_delay < comparison.bus_energy_delay / 5
+    shape_report["fig4_6"] = {
+        "latency_ratio": round(comparison.latency_ratio, 1),
+        "path_energy_ratio": round(comparison.path_energy_ratio, 2),
+        "gross_energy_ratio": round(comparison.gross_energy_ratio, 2),
+        "edp_noc": f"{comparison.noc_energy_delay:.2e}",
+        "edp_bus": f"{comparison.bus_energy_delay:.2e}",
+    }

@@ -1,0 +1,28 @@
+"""Benchmark E6: Fig 4-8 — MP3 latency over the (p x p_upset) plane."""
+
+from repro.experiments import fig4_8
+
+
+def test_fig4_8_latency_contour(benchmark, shape_report):
+    cells = benchmark(
+        fig4_8.run,
+        probabilities=(1.0, 0.5, 0.25),
+        upset_levels=(0.0, 0.4, 0.7),
+        n_frames=6,
+        granule=144,
+        repetitions=2,
+        max_rounds=1500,
+    )
+    grid = {(c.forward_probability, c.p_upset): c for c in cells}
+    best = grid[(1.0, 0.0)].latency_rounds
+    # The contour's monotone structure: latency rises as p falls and as
+    # p_upset rises, with the corner (p=1, upset=0) the global minimum.
+    assert all(best <= cell.latency_rounds for cell in cells)
+    assert grid[(0.25, 0.0)].latency_rounds >= grid[(0.5, 0.0)].latency_rounds
+    assert grid[(1.0, 0.7)].latency_rounds > grid[(1.0, 0.0)].latency_rounds
+    # Even the hard corner still makes progress at these levels.
+    assert grid[(0.5, 0.7)].completion_rate > 0.0
+    shape_report["fig4_8"] = {
+        f"p={p},upset={u}": round(c.latency_rounds, 1)
+        for (p, u), c in sorted(grid.items())
+    }

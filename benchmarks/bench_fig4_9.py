@@ -1,0 +1,29 @@
+"""Benchmark E7: Fig 4-9 — MP3 energy dissipation vs p (near-linear)."""
+
+import numpy as np
+
+from repro.experiments import fig4_9
+
+
+def test_fig4_9_energy_linear_in_p(benchmark, shape_report):
+    points = benchmark(
+        fig4_9.run,
+        probabilities=(0.1, 0.25, 0.5, 0.75, 1.0),
+        n_frames=5,
+        granule=144,
+        repetitions=2,
+    )
+    probabilities = np.array([pt.forward_probability for pt in points])
+    energies = np.array([pt.energy_j for pt in points])
+    # Strictly increasing and highly linear (thesis: "increases almost
+    # linearly with the probability p").
+    assert np.all(np.diff(energies) > 0)
+    correlation = np.corrcoef(probabilities, energies)[0, 1]
+    assert correlation > 0.97
+    # The flip side of the trade-off: latency falls as p rises.
+    rounds = np.array([pt.latency_rounds for pt in points])
+    assert rounds[0] > rounds[-1]
+    shape_report["fig4_9"] = {
+        "correlation": round(float(correlation), 3),
+        "energy_ratio_p1_vs_p025": round(float(energies[-1] / energies[1]), 2),
+    }

@@ -1,0 +1,34 @@
+"""Benchmark E10: Fig 5-3 — on-chip diversity architecture comparison."""
+
+from repro.experiments import fig5_3
+
+
+def test_fig5_3_architectures(benchmark, shape_report):
+    rows = benchmark(
+        fig5_3.run,
+        cluster_side=3,
+        n_sensors=12,
+        n_frames=6,
+        frame_interval=3,
+        repetitions=2,
+        max_rounds=4000,
+    )
+    by_name = {row.name: row for row in rows}
+    flat = by_name["flat NoC"]
+    hierarchical = by_name["hierarchical NoC"]
+    bus = by_name["bus-connected NoCs"]
+    assert flat.completed and hierarchical.completed and bus.completed
+    # Thesis: flat NoC has slightly the best latency...
+    assert flat.latency_rounds <= hierarchical.latency_rounds
+    # ...the hierarchical NoC the lowest message count...
+    assert hierarchical.transmissions < flat.transmissions
+    # ...and the bus-connected structure is the least efficient.
+    assert bus.latency_rounds > hierarchical.latency_rounds
+    assert bus.energy_j > hierarchical.energy_j
+    shape_report["fig5_3"] = {
+        row.name: {
+            "rounds": round(row.latency_rounds, 1),
+            "transmissions": round(row.transmissions),
+        }
+        for row in rows
+    }

@@ -1,0 +1,33 @@
+"""Extension bench: gossip saturation on grids vs the complete graph.
+
+§3.1 proves the O(log n) spread on the complete graph and leaves the grid
+open ("the theoretical analysis in this case is an open research
+question"), offering experiments as "the first evidence" gossip works on
+grid NoCs.  This bench quantifies the gap at matched node counts.
+"""
+
+from repro.core.theory import expected_rounds_to_inform_all
+from repro.experiments import grid_spread
+
+
+def test_grid_vs_complete_saturation(benchmark, shape_report):
+    measurements = benchmark(grid_spread.run, side=5, repetitions=5)
+    complete, torus, mesh = measurements
+    assert complete.completion_rate == 1.0
+    assert torus.completion_rate == 1.0
+    assert mesh.completion_rate == 1.0
+    # Connectivity strictly orders the saturation speed...
+    assert (
+        complete.saturation_rounds_mean
+        <= torus.saturation_rounds_mean
+        <= mesh.saturation_rounds_mean
+    )
+    # ...and even the mesh saturates within a small multiple of the
+    # complete graph's O(log n) bound (the thesis' "explosively fast"
+    # observation for grid topologies).
+    bound = expected_rounds_to_inform_all(complete.n_tiles)
+    assert mesh.saturation_rounds_mean < 3 * bound
+    shape_report["grid_spread"] = {
+        m.topology_name: round(m.saturation_rounds_mean, 1)
+        for m in measurements
+    }

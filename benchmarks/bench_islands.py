@@ -1,0 +1,37 @@
+"""Extension bench: voltage/frequency islands (Ch. 5, first diversity axis).
+
+The thesis proposes voltage islands "with the purpose of optimizing a
+specific parameter, such as energy consumption" but does not measure
+them.  This bench does, and finds the textbook outcome: undervolting a
+block of tiles scales its link energy by V^2 (large savings), while the
+latency penalty is *absorbed* whenever the application's critical path —
+here the far-corner slave round-trip — lies outside the island.  That is
+precisely why islands are placed under non-critical logic.
+"""
+
+from repro.experiments import islands
+
+
+def test_island_energy_latency_trade(benchmark, shape_report):
+    comparisons = benchmark(
+        islands.run_voltage_sweep,
+        voltages=(1.0, 0.8, 0.6, 0.5),
+        repetitions=3,
+    )
+    savings = [c.energy_saving for c in comparisons]
+    # V = 1.0 is the identity partition.
+    assert abs(savings[0]) < 1e-9
+    # Deeper undervolting saves monotonically more energy...
+    assert all(b >= a for a, b in zip(savings, savings[1:]))
+    assert savings[-1] > 0.25
+    # ...while the latency penalty stays small: the critical path runs
+    # outside the island, so the slow links never bind.
+    for comparison in comparisons:
+        assert comparison.latency_penalty < 0.3
+    shape_report["islands"] = {
+        f"V={c.island_voltage}": {
+            "saving": round(c.energy_saving, 3),
+            "latency_penalty": round(c.latency_penalty, 3),
+        }
+        for c in comparisons
+    }

@@ -1,0 +1,38 @@
+"""Extension bench: dead-link sweep (the Ch. 2 p_link axis Fig 4-4 skips).
+
+Expected shape: links are the gentler failure element — the gossip walks
+around a missing edge with barely a latency ripple, while the
+dead-link-drop counter shows the protocol genuinely hitting (and
+absorbing) the failures.
+"""
+
+from repro.experiments import link_crashes
+
+
+def test_link_crash_sweep(benchmark, shape_report):
+    points = benchmark(
+        link_crashes.run,
+        dead_link_counts=(0, 8, 16, 24),
+        repetitions=4,
+    )
+    by_count = {pt.n_dead_links: pt for pt in points}
+    assert by_count[0].completion_rate == 1.0
+    assert by_count[0].dead_link_drops == 0.0
+    # The protocol keeps running into dead links...
+    assert by_count[24].dead_link_drops > by_count[8].dead_link_drops > 0
+    # ...but completion holds through 20 % dead links with latency barely
+    # moving; at 30 % random cuts some draws isolate a slave's corner
+    # (both inbound edges gone), which is a connectivity loss no
+    # protocol survives.
+    assert by_count[16].completion_rate == 1.0
+    assert by_count[16].latency_rounds < 2 * max(
+        by_count[0].latency_rounds, 1
+    )
+    assert by_count[24].completion_rate >= 0.5
+    shape_report["link_crashes"] = {
+        f"dead={n}": {
+            "ok": round(pt.completion_rate, 2),
+            "rounds": round(pt.latency_rounds, 1),
+        }
+        for n, pt in sorted(by_count.items())
+    }

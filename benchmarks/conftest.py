@@ -1,0 +1,21 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Each ``bench_figX_Y.py`` regenerates one thesis figure's data series under
+pytest-benchmark timing and asserts the figure's qualitative shape.  Sizes
+are chosen so the whole benchmark suite completes in a few minutes; the
+experiment harnesses accept larger parameters for paper-scale runs (see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def shape_report():
+    """Collects per-figure shape checks for a end-of-run summary."""
+    results: dict[str, dict] = {}
+    yield results
+    if results:  # pragma: no cover - cosmetic output
+        print("\n=== figure shape summary ===")
+        for name in sorted(results):
+            print(f"{name}: {results[name]}")

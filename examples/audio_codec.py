@@ -1,0 +1,90 @@
+"""The perceptual audio codec on its own: CBR vs VBR vs block switching.
+
+The thesis uses the encoder purely as a NoC workload; this example shows
+the codec substrate is a real codec.  We encode three signal families at
+constant bit-rate, in quality-targeted VBR mode, and with MPEG-style
+window switching around a transient, reporting rate and reconstruction
+SNR for each configuration.
+
+Run:  python examples/audio_codec.py
+"""
+
+import numpy as np
+
+from repro.mp3 import (
+    Mp3Decoder,
+    Mp3Encoder,
+    PcmSource,
+    TransientDetector,
+    reconstruction_snr_db,
+)
+from repro.mp3.pcm import frames_from_signal
+
+GRANULE = 576
+N_FRAMES = 8
+
+
+class _ArraySource:
+    """PcmSource-compatible wrapper around a prepared frame array."""
+
+    def __init__(self, frames: np.ndarray) -> None:
+        self._frames = frames
+        self.n_frames = len(frames)
+
+    def all_frames(self) -> np.ndarray:
+        return self._frames
+
+    def frame(self, index: int) -> np.ndarray:
+        return self._frames[index]
+
+
+def _report(label: str, source, encoder: Mp3Encoder) -> None:
+    frames = encoder.encode(source)
+    rate = Mp3Encoder.measured_bitrate_bps(frames, granule=GRANULE)
+    reconstruction = Mp3Decoder(GRANULE).decode(
+        {f.frame_index: f for f in frames}, source.n_frames
+    )
+    snr = reconstruction_snr_db(source.all_frames(), reconstruction)
+    windows = "".join(f.window_type.value[0] for f in frames)
+    print(
+        f"{label:>26}: rate={rate / 1000:7.1f} kbps  SNR={snr:6.2f} dB  "
+        f"windows={windows}"
+    )
+
+
+def content_dependence() -> None:
+    print("=== CBR (128 kbps) vs VBR across signal content ===")
+    for kind in ("tone", "chirp", "mixture", "noise"):
+        source = PcmSource(N_FRAMES, kind, seed=3, granule=GRANULE)
+        _report(f"{kind} / CBR", source, Mp3Encoder(128_000, GRANULE))
+        _report(f"{kind} / VBR", source, Mp3Encoder(granule=GRANULE, mode="vbr"))
+
+
+def transient_handling() -> None:
+    print("\n=== window switching around a castanet-like click ===")
+    rng = np.random.default_rng(5)
+    signal = 0.02 * rng.normal(size=GRANULE * N_FRAMES)
+    signal[4 * GRANULE + 100 : 4 * GRANULE + 130] += 0.9
+    source = _ArraySource(frames_from_signal(signal, GRANULE))
+    plan = TransientDetector().plan(source.all_frames())
+    print("planned windows:", " ".join(w.value for w in plan))
+    _report(
+        "long blocks only",
+        source,
+        Mp3Encoder(320_000, GRANULE, block_switching=False),
+    )
+    _report(
+        "with block switching",
+        source,
+        Mp3Encoder(320_000, GRANULE, block_switching=True),
+    )
+    print(
+        "\nShort blocks confine the attack's quantization noise to ~1/3 of\n"
+        "a long window, removing the pre-echo a long-only coder smears\n"
+        "ahead of the click."
+    )
+
+
+if __name__ == "__main__":
+    content_dependence()
+    transient_handling()

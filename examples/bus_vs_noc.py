@@ -1,0 +1,45 @@
+"""The Fig 4-6 comparison: stochastic NoC vs a shared bus.
+
+The same Master-Slave IP code deploys on both substrates with the thesis'
+0.25 um constants (tile link: 381 MHz / 2.4e-10 J per bit; chip-length
+bus: 43 MHz / 21.6e-10 J per bit).  Three seeded NoC runs plus their
+average mirror the figure's Run 1/2/3/Avg bars.
+
+Run:  python examples/bus_vs_noc.py
+"""
+
+from repro.experiments import fig4_6
+
+
+def main() -> None:
+    comparison = fig4_6.run(n_runs=3, n_terms=2_000, seed=0)
+
+    print("=== latency ===")
+    for index, latency in enumerate(comparison.noc_runs_latency_s, 1):
+        print(f"  NoC run {index}:    {latency * 1e6:8.3f} us")
+    print(f"  NoC average:  {comparison.noc_latency_s * 1e6:8.3f} us")
+    print(f"  shared bus:   {comparison.bus_latency_s * 1e6:8.3f} us")
+    print(f"  ratio:        {comparison.latency_ratio:8.1f}x  (thesis: ~11x)")
+
+    print("\n=== energy per useful bit ===")
+    print(
+        f"  NoC (delivered-path): {comparison.noc_path_energy_per_bit_j:.3e} J"
+    )
+    print(
+        f"  NoC (all copies):     {comparison.noc_gross_energy_per_bit_j:.3e} J"
+    )
+    print(f"  shared bus:           {comparison.bus_energy_per_bit_j:.3e} J")
+    print(
+        f"  path ratio: {comparison.path_energy_ratio:.2f}   "
+        f"gross ratio: {comparison.gross_energy_ratio:.2f}   "
+        "(thesis: ~1.05 under path accounting)"
+    )
+
+    print("\n=== energy x delay (J*s per bit) ===")
+    print(f"  NoC: {comparison.noc_energy_delay:.3e}")
+    print(f"  bus: {comparison.bus_energy_delay:.3e}")
+    print("  (thesis: 7e-12 vs 133e-12 with their packet sizes)")
+
+
+if __name__ == "__main__":
+    main()

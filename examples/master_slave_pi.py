@@ -1,0 +1,67 @@
+"""Case study §4.1.1: Master-Slave computation of pi with IP duplication.
+
+A master on the centre tile of a 5x5 NoC scatters Eq. 4's partial-sum
+ranges to eight slaves (each duplicated on a second tile), then gathers the
+partials.  We run the four thesis protocol variants (flooding and p in
+{0.75, 0.5, 0.25}), then crash several primary replicas and show the
+computation still finishing because the replicas' result packets carry
+their primaries' identities and deduplicate in-network.
+
+Run:  python examples/master_slave_pi.py
+"""
+
+import math
+
+from repro import FloodingProtocol, Mesh2D, NocSimulator, StochasticProtocol
+from repro.apps import MasterSlavePiApp
+from repro.faults import CrashPlan
+
+
+def protocol_sweep() -> None:
+    print("=== latency/energy across protocols (fault-free) ===")
+    print(f"{'protocol':>16} {'rounds':>7} {'energy [J]':>12} {'pi error':>10}")
+    for protocol in (
+        FloodingProtocol(),
+        StochasticProtocol(0.75),
+        StochasticProtocol(0.50),
+        StochasticProtocol(0.25),
+    ):
+        app = MasterSlavePiApp.default_5x5(n_terms=20_000)
+        simulator = NocSimulator(Mesh2D(5, 5), protocol, seed=7)
+        app.deploy(simulator)
+        result = simulator.run(300, until=lambda sim: app.master.complete)
+        print(
+            f"{protocol.name:>16} {result.rounds:>7} "
+            f"{result.energy_j:>12.3e} {app.pi_error:>10.2e}"
+        )
+
+
+def replica_crash_demo() -> None:
+    print("\n=== crashing 4 primary replicas mid-placement ===")
+    app = MasterSlavePiApp.default_5x5(n_terms=20_000)
+    primaries = frozenset(
+        replicas[0]
+        for index, replicas in enumerate(app.master.slave_tiles)
+        if index % 2 == 0
+    )
+    print(f"dead tiles: {sorted(primaries)}")
+    simulator = NocSimulator(
+        Mesh2D(5, 5),
+        StochasticProtocol(0.5),
+        seed=11,
+        crash_plan=CrashPlan(dead_tiles=primaries),
+    )
+    app.deploy(simulator)
+    result = simulator.run(300, until=lambda sim: app.master.complete)
+    print(f"completed: {app.complete} in {result.rounds} rounds")
+    print(f"pi = {app.pi_estimate:.10f}  (true: {math.pi:.10f})")
+    print(
+        "The surviving replicas' packets were pinned to their primaries'\n"
+        "(source, message-id) keys, so the master neither noticed the\n"
+        "crashes nor received duplicates (thesis §4.1.1/§4.1.3)."
+    )
+
+
+if __name__ == "__main__":
+    protocol_sweep()
+    replica_crash_demo()

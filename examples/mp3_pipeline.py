@@ -1,0 +1,66 @@
+"""The thesis' headline workload: a parallel MP3-style encoder on the NoC.
+
+The five pipeline stages of Fig 4-7 (signal acquisition, psychoacoustic
+model, MDCT, iterative encoding, bit reservoir/output) run on five tiles
+of a 4x4 mesh and exchange granules over the stochastic network.  We
+encode a synthetic tone+chirp+noise mixture, decode the assembled
+bitstream, and measure output bit-rate and reconstruction SNR — first
+fault-free, then under escalating buffer-overflow loss (the Fig 4-10/4-11
+axes).
+
+Run:  python examples/mp3_pipeline.py
+"""
+
+from repro import FaultConfig, Mesh2D, NocSimulator, StochasticProtocol
+from repro.apps import run_on_noc
+from repro.mp3 import Mp3Decoder, ParallelMp3App, reconstruction_snr_db
+
+N_FRAMES = 8
+GRANULE = 288  # half the MP3 long-block granule, for a quick demo
+
+
+def encode_under(p_overflow: float, seed: int = 5) -> None:
+    app = ParallelMp3App(
+        n_frames=N_FRAMES,
+        granule=GRANULE,
+        bitrate_bps=192_000,
+        skip_after=40,
+        seed=seed,
+    )
+    simulator = NocSimulator(
+        Mesh2D(4, 4),
+        StochasticProtocol(0.5),
+        FaultConfig(p_overflow=p_overflow),
+        seed=seed,
+        default_ttl=24,
+    )
+    result = run_on_noc(app, simulator, max_rounds=2000)
+    report = app.report()
+
+    decoder = Mp3Decoder(granule=GRANULE)
+    reconstruction = decoder.decode(app.output.frames, N_FRAMES)
+    snr = reconstruction_snr_db(app.source.all_frames(), reconstruction)
+
+    print(
+        f"p_overflow={p_overflow:>4.2f}  "
+        f"rounds={result.rounds:>5}  "
+        f"frames={report.frames_received}/{report.n_frames}  "
+        f"bitrate={report.bitrate_bps / 1000:>7.1f} kbps  "
+        f"SNR={snr:>6.2f} dB  "
+        f"{'OK' if report.encoding_complete else 'INCOMPLETE'}"
+    )
+
+
+if __name__ == "__main__":
+    print(
+        f"encoding {N_FRAMES} granules of {GRANULE} samples "
+        "through the 5-stage NoC pipeline\n"
+    )
+    print("=== output quality vs buffer-overflow loss ===")
+    for level in (0.0, 0.2, 0.4, 0.6, 0.8, 0.95):
+        encode_under(level)
+    print(
+        "\nThe stream degrades gracefully: bit-rate and SNR hold through\n"
+        "heavy loss and collapse only when whole granules become\n"
+        "unrecoverable (thesis Figs 4-10 and 4-11)."
+    )

@@ -1,0 +1,46 @@
+"""Chapter 5: on-chip diversity — comparing communication architectures.
+
+The delay-and-sum beamforming workload streams sensor frames toward a
+collector on four structures (Fig 5-2): a flat 6x6 NoC, a hierarchical
+NoC (four 3x3 clusters + head ring), four NoCs bridged by a shared bus,
+and four clusters around a central router.  The harness reports the two
+Fig 5-3 quantities — latency and message transmissions — plus Eq. 3
+energy under each architecture's per-link constants.
+
+Run:  python examples/onchip_diversity.py
+"""
+
+from repro.experiments import fig5_3
+
+
+def main() -> None:
+    rows = fig5_3.run(
+        cluster_side=3,
+        n_sensors=12,
+        n_frames=6,
+        frame_interval=3,
+        repetitions=3,
+        include_central_router=True,
+        seed=0,
+    )
+    print(
+        f"{'architecture':>22} {'done':>5} {'rounds':>7} "
+        f"{'transmissions':>14} {'energy [J]':>11}"
+    )
+    for row in rows:
+        print(
+            f"{row.name:>22} {str(row.completed):>5} "
+            f"{row.latency_rounds:>7.1f} {row.transmissions:>14.0f} "
+            f"{row.energy_j:>11.3e}"
+        )
+    print(
+        "\nThesis Fig 5-3's shape: the hierarchical NoC moves the fewest\n"
+        "messages (local gossip + one partial per cluster crossing the\n"
+        "backbone), the flat NoC has slightly the best latency, and the\n"
+        "bus-connected structure trails on every axis — it exists to\n"
+        "smooth migration from today's bus-based designs, not to win."
+    )
+
+
+if __name__ == "__main__":
+    main()

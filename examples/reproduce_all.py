@@ -1,0 +1,172 @@
+"""Regenerate every thesis figure's data series in one run.
+
+Prints one section per figure with the series the thesis plots; the
+numbers recorded in EXPERIMENTS.md come from this script.  Expect a few
+minutes of runtime at these (moderate) sizes.
+
+Run:  python examples/reproduce_all.py
+"""
+
+import time
+
+from repro.experiments import (
+    fig3_1,
+    fig4_4,
+    fig4_5,
+    fig4_6,
+    fig4_8,
+    fig4_9,
+    fig4_10,
+    fig4_11,
+    fig5_3,
+)
+
+
+def _section(title: str):
+    print(f"\n{'=' * 66}\n{title}\n{'=' * 66}")
+
+
+def main() -> None:  # noqa: C901 - a linear report script
+    t0 = time.time()
+
+    _section("Fig 3-1: rumor spreading, 1000-node fully connected network")
+    curve = fig3_1.run(n=1000, repetitions=5, seed=0)
+    print(f"rounds to inform all 1000 nodes: {curve.rounds_to_all:.1f}")
+    print(f"log2(n) + ln(n) prediction:      {curve.predicted_rounds:.1f}")
+    print("round : simulated / deterministic (Eq. 1)")
+    for round_index in range(0, len(curve.simulated), 2):
+        print(
+            f"  {round_index:>3} : {curve.simulated[round_index]:>7.1f} / "
+            f"{curve.deterministic[round_index]:>7.1f}"
+        )
+
+    _section("Fig 4-4: latency & energy vs tile crashes (Master-Slave, 5x5)")
+    points = fig4_4.run(
+        "master_slave", dead_tile_counts=(0, 2, 4), repetitions=5
+    )
+    print(f"{'p':>5} {'dead':>5} {'ok':>5} {'rounds':>7} {'energy [J]':>11}")
+    for pt in points:
+        print(
+            f"{pt.forward_probability:>5.2f} {pt.n_dead_tiles:>5} "
+            f"{pt.completion_rate:>5.2f} {pt.latency_rounds:>7.1f} "
+            f"{pt.energy_j:>11.3e}"
+        )
+
+    _section("Fig 4-4 (b): same sweep for the 2-D FFT (4x4)")
+    points = fig4_4.run("fft2d", dead_tile_counts=(0, 2), repetitions=5)
+    print(f"{'p':>5} {'dead':>5} {'ok':>5} {'rounds':>7} {'energy [J]':>11}")
+    for pt in points:
+        print(
+            f"{pt.forward_probability:>5.2f} {pt.n_dead_tiles:>5} "
+            f"{pt.completion_rate:>5.2f} {pt.latency_rounds:>7.1f} "
+            f"{pt.energy_j:>11.3e}"
+        )
+
+    _section("Fig 4-5: latency surface over (dead tiles x p_upset)")
+    points = fig4_5.run(
+        dead_tile_counts=(0, 2, 4),
+        upset_levels=(0.0, 0.3, 0.5, 0.7, 0.9),
+        repetitions=3,
+    )
+    print(f"{'dead':>5} {'p_upset':>8} {'ok':>5} {'rounds':>7}")
+    for pt in points:
+        print(
+            f"{pt.n_dead_tiles:>5} {pt.p_upset:>8.2f} "
+            f"{pt.completion_rate:>5.2f} {pt.latency_rounds:>7.1f}"
+        )
+
+    _section("Fig 4-6: stochastic NoC vs shared bus (0.25 um constants)")
+    comparison = fig4_6.run(n_runs=3, n_terms=2000)
+    print(f"NoC latency (avg of 3):  {comparison.noc_latency_s * 1e6:.3f} us")
+    print(f"bus latency:             {comparison.bus_latency_s * 1e6:.3f} us")
+    print(f"latency ratio:           {comparison.latency_ratio:.1f}x")
+    print(f"path energy ratio:       {comparison.path_energy_ratio:.2f}")
+    print(f"gross energy ratio:      {comparison.gross_energy_ratio:.2f}")
+    print(f"energy x delay NoC:      {comparison.noc_energy_delay:.2e} J*s/bit")
+    print(f"energy x delay bus:      {comparison.bus_energy_delay:.2e} J*s/bit")
+
+    _section("Fig 4-8: MP3 latency over (p x p_upset)")
+    cells = fig4_8.run(
+        probabilities=(1.0, 0.75, 0.5, 0.25),
+        upset_levels=(0.0, 0.3, 0.6),
+        n_frames=6,
+        repetitions=2,
+    )
+    print(f"{'p':>5} {'p_upset':>8} {'ok':>5} {'rounds':>7}")
+    for cell in cells:
+        print(
+            f"{cell.forward_probability:>5.2f} {cell.p_upset:>8.2f} "
+            f"{cell.completion_rate:>5.2f} {cell.latency_rounds:>7.1f}"
+        )
+
+    _section("Fig 4-9: MP3 energy vs p")
+    points = fig4_9.run(
+        probabilities=(0.1, 0.25, 0.5, 0.75, 1.0), n_frames=6, repetitions=2
+    )
+    print(f"{'p':>5} {'energy [J]':>11} {'tx':>8} {'rounds':>7}")
+    for pt in points:
+        print(
+            f"{pt.forward_probability:>5.2f} {pt.energy_j:>11.3e} "
+            f"{pt.transmissions:>8.0f} {pt.latency_rounds:>7.1f}"
+        )
+
+    _section("Fig 4-10: MP3 latency vs overflow / sync errors")
+    for pt in fig4_10.run_overflow(
+        levels=(0.0, 0.2, 0.4, 0.6, 0.8, 0.9), n_frames=6, repetitions=3
+    ):
+        print(
+            f"overflow {pt.level:>4.2f}: ok={pt.completion_rate:.2f} "
+            f"rounds={pt.latency_rounds_mean:>6.1f} "
+            f"+/-{pt.latency_rounds_std:.1f}"
+        )
+    for pt in fig4_10.run_synchronization(
+        levels=(0.0, 0.25, 0.5, 0.75), n_frames=6, repetitions=3
+    ):
+        print(
+            f"sigma    {pt.level:>4.2f}: ok={pt.completion_rate:.2f} "
+            f"rounds={pt.latency_rounds_mean:>6.1f} "
+            f"+/-{pt.latency_rounds_std:.1f}"
+        )
+
+    _section("Fig 4-11: MP3 output bit-rate vs overflow / sync errors")
+    for pt in fig4_11.run_overflow(
+        levels=(0.0, 0.2, 0.4, 0.6, 0.8), n_frames=6, repetitions=3
+    ):
+        print(
+            f"overflow {pt.level:>4.2f}: "
+            f"bitrate={pt.bitrate_bps_mean / 1000:>7.1f} kbps "
+            f"+/-{pt.bitrate_bps_std / 1000:.1f}  "
+            f"lost={pt.frames_lost_mean:.1f}  "
+            f"SNR={pt.snr_db_mean:.1f} dB"
+        )
+    for pt in fig4_11.run_synchronization(
+        levels=(0.0, 0.25, 0.5, 0.75), n_frames=6, repetitions=3
+    ):
+        print(
+            f"sigma    {pt.level:>4.2f}: "
+            f"bitrate={pt.bitrate_bps_mean / 1000:>7.1f} kbps "
+            f"+/-{pt.bitrate_bps_std / 1000:.1f}  "
+            f"SNR={pt.snr_db_mean:.1f} dB"
+        )
+
+    _section("Fig 5-3: on-chip diversity architectures")
+    for row in fig5_3.run(
+        cluster_side=3,
+        n_sensors=12,
+        n_frames=6,
+        frame_interval=3,
+        repetitions=3,
+        include_central_router=True,
+    ):
+        print(
+            f"{row.name:>22}: done={row.completed} "
+            f"rounds={row.latency_rounds:>6.1f} "
+            f"tx={row.transmissions:>8.0f} "
+            f"E={row.energy_j:.3e} J"
+        )
+
+    print(f"\ntotal runtime: {time.time() - t0:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a reproduction of "On-Chip Stochastic Communication".
+
+Dumitras & Marculescu (DATE 2003; CMU MS thesis, May 2003) propose a
+gossip-based, probabilistically-flooding communication paradigm for
+networks-on-chip that tolerates the stochastic failures of deep-submicron
+silicon — data upsets, buffer overflows, synchronization errors, and the
+occasional crashed tile — without retransmission protocols.
+
+Quick start::
+
+    from repro import (
+        Mesh2D, NocSimulator, StochasticProtocol, FaultConfig,
+    )
+    from repro.apps import ProducerConsumerApp, run_on_noc
+
+    app = ProducerConsumerApp(producer_tile=5, consumer_tile=11)
+    sim = NocSimulator(
+        Mesh2D(4, 4), StochasticProtocol(0.5),
+        FaultConfig(p_upset=0.3), seed=42,
+    )
+    result = run_on_noc(app, sim)
+    print(result.rounds, result.energy_j)
+
+Package map:
+
+* :mod:`repro.core` — the protocol (packets, gossip, flooding, theory);
+* :mod:`repro.noc` — the NoC substrate (topologies, tiles, links, clocks,
+  round-stepped engine);
+* :mod:`repro.faults` — the Ch. 2 failure model and fault injection;
+* :mod:`repro.crc` — the error-detection substrate;
+* :mod:`repro.bus` — the shared-bus baseline;
+* :mod:`repro.energy` — Eq. 2 / Eq. 3 metrics and technology constants;
+* :mod:`repro.apps` — Producer-Consumer, Master-Slave pi, 2-D FFT,
+  beamforming;
+* :mod:`repro.mp3` — the perceptual audio encoder workload (Fig 4-7);
+* :mod:`repro.diversity` — on-chip diversity architectures (Ch. 5);
+* :mod:`repro.experiments` — one harness per thesis figure.
+"""
+
+from repro.core.packet import BROADCAST, Packet, PacketFactory
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.faults import CrashPlan, FaultConfig, FaultInjector
+from repro.noc.engine import NocSimulator, SimulationResult
+from repro.noc.tile import IPCore, Tile
+from repro.noc.topology import (
+    FullyConnected,
+    Mesh2D,
+    RingTopology,
+    StarTopology,
+    Torus2D,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BROADCAST",
+    "Packet",
+    "PacketFactory",
+    "StochasticProtocol",
+    "FloodingProtocol",
+    "FaultConfig",
+    "FaultInjector",
+    "CrashPlan",
+    "NocSimulator",
+    "SimulationResult",
+    "IPCore",
+    "Tile",
+    "Mesh2D",
+    "Torus2D",
+    "FullyConnected",
+    "RingTopology",
+    "StarTopology",
+    "__version__",
+]

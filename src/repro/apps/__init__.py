@@ -1,0 +1,45 @@
+"""Applications mapped onto the NoC (thesis Ch. 3-4).
+
+Each application is a set of IP cores plus a placement; the same IP code
+deploys onto a :class:`repro.noc.NocSimulator` or a
+:class:`repro.bus.BusSimulator` (the contexts are interface-compatible),
+which is how the thesis' bus comparison stays fair.
+
+* :mod:`producer_consumer` — the introductory example of §3.2.1;
+* :mod:`master_slave` — parallel computation of pi (Eq. 4, §4.1.1), with
+  optional slave duplication for compute fault-tolerance;
+* :mod:`fft2d` — the divide-and-conquer 2-D FFT of §4.1.2, with a
+  from-scratch radix-2 kernel;
+* :mod:`beamforming` — the delay-and-sum acoustic app behind the Ch. 5
+  diversity comparison.
+"""
+
+from repro.apps.base import Application, Placement, run_on_bus, run_on_noc
+from repro.apps.producer_consumer import (
+    ConsumerCore,
+    ProducerConsumerApp,
+    ProducerCore,
+)
+from repro.apps.master_slave import MasterCore, MasterSlavePiApp, SlaveCore
+from repro.apps.fft2d import Fft2dApp, FftRootCore, FftWorkerCore, fft_radix2
+from repro.apps.beamforming import BeamformingApp, CollectorCore, SensorCore
+
+__all__ = [
+    "Application",
+    "Placement",
+    "run_on_noc",
+    "run_on_bus",
+    "ProducerConsumerApp",
+    "ProducerCore",
+    "ConsumerCore",
+    "MasterSlavePiApp",
+    "MasterCore",
+    "SlaveCore",
+    "Fft2dApp",
+    "FftRootCore",
+    "FftWorkerCore",
+    "fft_radix2",
+    "BeamformingApp",
+    "SensorCore",
+    "CollectorCore",
+]

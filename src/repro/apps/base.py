@@ -1,0 +1,85 @@
+"""Application / placement abstractions.
+
+An :class:`Application` owns its IP cores and knows where they go; the
+``run_on_noc`` / ``run_on_bus`` helpers build a simulator, deploy, run and
+return the result.  Keeping deployment out of the IP classes lets one
+application definition drive every experiment: NoC vs bus, different
+forwarding probabilities, different fault configurations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.bus.simulator import BusResult, BusSimulator
+from repro.noc.engine import NocSimulator, SimulationResult
+from repro.noc.tile import IPCore
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One IP core assigned to one tile/module id."""
+
+    tile_id: int
+    ip: IPCore
+
+
+class Application(ABC):
+    """A set of IP cores plus their placement on the chip."""
+
+    @abstractmethod
+    def placements(self) -> list[Placement]:
+        """All (tile, IP) assignments; tile ids must be distinct."""
+
+    @property
+    def critical_tiles(self) -> frozenset[int]:
+        """Tiles whose loss is fatal to the application.
+
+        Crash sweeps protect these (the thesis notes runs abort when
+        "important modules" die — that failure mode is measured separately
+        from the communication protocol's resilience).  By default every
+        placement is critical; apps with duplicated IPs override this to
+        just the un-replicated roots.
+        """
+        return frozenset(p.tile_id for p in self.placements())
+
+    def deploy(self, simulator: NocSimulator | BusSimulator) -> None:
+        """Mount every IP on its tile/module."""
+        seen: set[int] = set()
+        for placement in self.placements():
+            if placement.tile_id in seen:
+                raise ValueError(
+                    f"duplicate placement on tile {placement.tile_id}"
+                )
+            seen.add(placement.tile_id)
+            simulator.mount(placement.tile_id, placement.ip)
+
+    @property
+    def complete(self) -> bool:
+        """Application-level completion (replica-aware)."""
+        return all(p.ip.complete for p in self.placements())
+
+
+def run_on_noc(
+    app: Application,
+    simulator: NocSimulator,
+    max_rounds: int = 1000,
+) -> SimulationResult:
+    """Deploy `app` on a NoC simulator and run to completion.
+
+    Completion is judged by the simulator's live-tile rule, which lets an
+    app with duplicated IPs survive the crash of one replica.
+    """
+    app.deploy(simulator)
+    return simulator.run(max_rounds=max_rounds)
+
+
+def run_on_bus(
+    app: Application,
+    simulator: BusSimulator,
+    max_transfers: int = 100_000,
+) -> BusResult:
+    """Deploy `app` on a bus simulator and run to completion."""
+    app.deploy(simulator)
+    return simulator.run(max_transfers=max_transfers)

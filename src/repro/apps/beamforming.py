@@ -1,0 +1,441 @@
+"""Delay-and-sum acoustic beamforming (the Ch. 5 diversity workload).
+
+The thesis' on-chip-diversity comparison (Fig 5-3) runs an acoustic
+beamforming application [42]: an array of sensor IPs produces sample
+frames; a collector applies per-sensor integer delays (steering the array
+toward a source direction) and sums.  Communication is many-to-one and
+periodic — the pattern that differentiates flat, hierarchical and
+bus-connected NoC architectures.
+
+The DSP here is real: the collector's output frame is the delayed sum of
+the sensor frames, and a test can verify that steering at the true source
+direction maximises output power.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.apps.base import Application, Placement
+from repro.core.packet import Packet
+from repro.noc.tile import IPCore, TileContext
+
+#: Frame header: sensor index, frame index, sample count (int16 samples).
+_FRAME = struct.Struct(">iii")
+#: Partial-sum header: aggregator index, frame index, sensors folded in,
+#: sample count (float64 samples follow).
+_PARTIAL = struct.Struct(">iiii")
+
+
+def synthesize_plane_wave(
+    n_sensors: int,
+    n_samples: int,
+    delay_per_sensor: int,
+    amplitude: float = 1000.0,
+    noise_std: float = 10.0,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Signals a linear array hears from a far-field source.
+
+    Sensor *k* receives the source delayed by ``k * delay_per_sensor``
+    samples plus white noise.  Returns an (n_sensors, n_samples) int16
+    array.
+    """
+    if n_sensors < 1 or n_samples < 1:
+        raise ValueError("need at least one sensor and one sample")
+    rng = np.random.default_rng(seed)
+    base_length = n_samples + abs(delay_per_sensor) * n_sensors
+    t = np.arange(base_length)
+    source = amplitude * np.sin(2 * np.pi * t / 16.0)
+    frames = np.zeros((n_sensors, n_samples))
+    for k in range(n_sensors):
+        start = k * delay_per_sensor if delay_per_sensor >= 0 else (
+            (n_sensors - 1 - k) * -delay_per_sensor
+        )
+        frames[k] = source[start : start + n_samples]
+    frames += rng.normal(0.0, noise_std, frames.shape)
+    return np.clip(frames, -32768, 32767).astype(np.int16)
+
+
+def delay_and_sum(
+    frames: np.ndarray, steering_delay: int
+) -> np.ndarray:
+    """Reference beamformer.
+
+    Sensor *k* leads the array origin by ``k * steering_delay`` samples
+    (the convention of :func:`synthesize_plane_wave`), so the beamformer
+    *delays* it by the same amount before summing; steering at the true
+    source delay adds all sensors coherently.
+    """
+    n_sensors, n_samples = frames.shape
+    output = np.zeros(n_samples, dtype=np.float64)
+    for k in range(n_sensors):
+        shift = -k * steering_delay
+        if shift >= 0:
+            output[: n_samples - shift] += frames[k, shift:]
+        else:
+            output[-shift:] += frames[k, : n_samples + shift]
+    return output / n_sensors
+
+
+class SensorCore(IPCore):
+    """Streams `n_frames` sample frames toward a sink (collector or
+    cluster aggregator)."""
+
+    def __init__(
+        self,
+        sensor_index: int,
+        sink_tile: int,
+        frames: np.ndarray,
+        ttl: int | None = None,
+        frame_interval: int = 1,
+    ) -> None:
+        """
+        Args:
+            sensor_index: position in the array (sets the steering delay).
+            sink_tile: destination of every frame.
+            frames: (n_frames, n_samples) int16 samples for this sensor.
+            ttl: per-packet TTL; small values keep intra-cluster gossip
+                local in hierarchical architectures (Ch. 5).
+            frame_interval: rounds between frame emissions (sensors sample
+                periodically; 1 = a new frame every round).
+        """
+        frames = np.asarray(frames, dtype=np.int16)
+        if frames.ndim != 2:
+            raise ValueError(f"frames must be 2-D, got shape {frames.shape}")
+        if frame_interval < 1:
+            raise ValueError(f"frame_interval must be >= 1, got {frame_interval}")
+        self.sensor_index = sensor_index
+        self.sink_tile = sink_tile
+        self.frames = frames
+        self.ttl = ttl
+        self.frame_interval = frame_interval
+        self.frames_sent = 0
+
+    def on_round(self, ctx: TileContext) -> None:
+        due = ctx.round_index % self.frame_interval == 0
+        if due and self.frames_sent < len(self.frames):
+            frame = self.frames[self.frames_sent]
+            payload = (
+                _FRAME.pack(self.sensor_index, self.frames_sent, frame.size)
+                + frame.tobytes()
+            )
+            ctx.send(self.sink_tile, payload, ttl=self.ttl)
+            self.frames_sent += 1
+
+    @property
+    def complete(self) -> bool:
+        return self.frames_sent >= len(self.frames)
+
+
+class AggregatorCore(IPCore):
+    """Cluster head: folds its sensors' frames into one delayed partial sum.
+
+    The hierarchical mapping of Ch. 5 — sensors gossip locally to their
+    head, and only one partial-sum message per (cluster, frame) crosses the
+    backbone, which is what gives the hierarchical NoC its low message
+    count in Fig 5-3.
+    """
+
+    def __init__(
+        self,
+        aggregator_index: int,
+        collector_tile: int,
+        sensor_indices: list[int],
+        n_frames: int,
+        steering_delay: int,
+        ttl: int | None = None,
+    ) -> None:
+        if not sensor_indices:
+            raise ValueError("aggregator needs at least one sensor")
+        self.aggregator_index = aggregator_index
+        self.collector_tile = collector_tile
+        self.sensor_indices = set(sensor_indices)
+        self.n_frames = n_frames
+        self.steering_delay = steering_delay
+        self.ttl = ttl
+        #: frame index -> {sensor index -> samples}
+        self._pending: dict[int, dict[int, np.ndarray]] = {}
+        self.partials_sent: set[int] = set()
+
+    def on_receive(self, ctx: TileContext, packet: Packet) -> None:
+        if len(packet.payload) < _FRAME.size:
+            return
+        sensor, frame_index, count = _FRAME.unpack(packet.payload[: _FRAME.size])
+        if sensor not in self.sensor_indices or not 0 <= frame_index < self.n_frames:
+            return
+        samples = np.frombuffer(
+            packet.payload[_FRAME.size :], dtype=np.int16
+        )[:count]
+        per_frame = self._pending.setdefault(frame_index, {})
+        per_frame.setdefault(sensor, samples)
+        if (
+            len(per_frame) == len(self.sensor_indices)
+            and frame_index not in self.partials_sent
+        ):
+            partial = self._fold(per_frame)
+            payload = _PARTIAL.pack(
+                self.aggregator_index,
+                frame_index,
+                len(self.sensor_indices),
+                partial.size,
+            ) + partial.tobytes()
+            ctx.send(self.collector_tile, payload, ttl=self.ttl)
+            self.partials_sent.add(frame_index)
+
+    def _fold(self, per_frame: dict[int, np.ndarray]) -> np.ndarray:
+        # Same sign convention as delay_and_sum: delay sensor k by
+        # k * steering_delay to undo its lead before summing.
+        n_samples = next(iter(per_frame.values())).size
+        partial = np.zeros(n_samples, dtype=np.float64)
+        for sensor, samples in per_frame.items():
+            shift = -sensor * self.steering_delay
+            data = samples.astype(np.float64)
+            if shift >= 0:
+                partial[: n_samples - shift] += data[shift:]
+            else:
+                partial[-shift:] += data[: n_samples + shift]
+        return partial
+
+    @property
+    def complete(self) -> bool:
+        return len(self.partials_sent) >= self.n_frames
+
+
+class AggregatedCollectorCore(IPCore):
+    """Final stage of the hierarchical mapping: sums cluster partials."""
+
+    def __init__(self, n_aggregators: int, n_sensors: int, n_frames: int) -> None:
+        if n_aggregators < 1 or n_sensors < 1 or n_frames < 1:
+            raise ValueError("need >= 1 aggregator, sensor and frame")
+        self.n_aggregators = n_aggregators
+        self.n_sensors = n_sensors
+        self.n_frames = n_frames
+        #: frame -> {aggregator -> partial}
+        self.received: dict[int, dict[int, np.ndarray]] = {}
+        self.frame_completion_round: dict[int, int] = {}
+
+    def on_receive(self, ctx: TileContext, packet: Packet) -> None:
+        if len(packet.payload) < _PARTIAL.size:
+            return
+        agg, frame_index, _, count = _PARTIAL.unpack(
+            packet.payload[: _PARTIAL.size]
+        )
+        if not (0 <= agg < self.n_aggregators and 0 <= frame_index < self.n_frames):
+            return
+        partial = np.frombuffer(
+            packet.payload[_PARTIAL.size :], dtype=np.float64
+        )[:count]
+        per_frame = self.received.setdefault(frame_index, {})
+        per_frame.setdefault(agg, partial)
+        if len(per_frame) == self.n_aggregators:
+            self.frame_completion_round.setdefault(frame_index, ctx.round_index)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.frame_completion_round) >= self.n_frames
+
+    def beamform(self, frame_index: int) -> np.ndarray:
+        per_frame = self.received.get(frame_index, {})
+        if len(per_frame) < self.n_aggregators:
+            raise RuntimeError(
+                f"frame {frame_index}: only {len(per_frame)}/"
+                f"{self.n_aggregators} partials arrived"
+            )
+        total = np.sum(
+            [per_frame[a] for a in range(self.n_aggregators)], axis=0
+        )
+        return total / self.n_sensors
+
+
+class CollectorCore(IPCore):
+    """Gathers all sensor frames and beamforms each frame index."""
+
+    def __init__(
+        self, n_sensors: int, n_frames: int, steering_delay: int = 0
+    ) -> None:
+        if n_sensors < 1 or n_frames < 1:
+            raise ValueError("need at least one sensor and one frame")
+        self.n_sensors = n_sensors
+        self.n_frames = n_frames
+        self.steering_delay = steering_delay
+        #: (frame index) -> {sensor index -> samples}
+        self.received: dict[int, dict[int, np.ndarray]] = {}
+        #: frame index -> arrival round of the frame's *last* sensor packet.
+        self.frame_completion_round: dict[int, int] = {}
+
+    def on_receive(self, ctx: TileContext, packet: Packet) -> None:
+        if len(packet.payload) < _FRAME.size:
+            return
+        sensor, frame_index, count = _FRAME.unpack(packet.payload[: _FRAME.size])
+        if not (0 <= sensor < self.n_sensors and 0 <= frame_index < self.n_frames):
+            return
+        samples = np.frombuffer(
+            packet.payload[_FRAME.size :], dtype=np.int16
+        )[:count]
+        per_frame = self.received.setdefault(frame_index, {})
+        per_frame.setdefault(sensor, samples)
+        if len(per_frame) == self.n_sensors:
+            self.frame_completion_round.setdefault(frame_index, ctx.round_index)
+
+    @property
+    def frames_complete(self) -> int:
+        return len(self.frame_completion_round)
+
+    @property
+    def complete(self) -> bool:
+        return self.frames_complete >= self.n_frames
+
+    def beamform(self, frame_index: int) -> np.ndarray:
+        """Delay-and-sum output of one completed frame."""
+        per_frame = self.received.get(frame_index, {})
+        if len(per_frame) < self.n_sensors:
+            raise RuntimeError(
+                f"frame {frame_index}: only {len(per_frame)}/"
+                f"{self.n_sensors} sensors arrived"
+            )
+        frames = np.stack(
+            [per_frame[k].astype(np.float64) for k in range(self.n_sensors)]
+        )
+        return delay_and_sum(frames, self.steering_delay)
+
+
+class BeamformingApp(Application):
+    """Sensors + collector, placement-agnostic (Ch. 5 harness supplies it).
+
+    Two mappings:
+
+    * **direct** (``aggregators=None``) — every sensor streams frames
+      straight to the collector (the flat-NoC mapping);
+    * **hierarchical** — sensors stream to their cluster's aggregator tile
+      with a short TTL (local gossip), aggregators fold partial sums and
+      send one backbone message per (cluster, frame) to the collector.
+
+    Args:
+        sensor_tiles: one tile per sensor, array order.
+        collector_tile: the final aggregation point.
+        n_frames: frames each sensor streams.
+        n_samples: samples per frame.
+        source_delay: true per-sensor delay of the synthetic plane wave.
+        steering_delay: delay the beamformer steers with.
+        seed: synthesis RNG seed.
+        aggregators: aggregator tile -> list of *sensor tiles* it serves;
+            must partition `sensor_tiles`; None = direct mapping.
+        intra_ttl: TTL for sensor -> aggregator (or sensor -> collector)
+            packets; bounds how far local gossip spreads.
+        backbone_ttl: TTL for aggregator -> collector packets.
+    """
+
+    def __init__(
+        self,
+        sensor_tiles: list[int],
+        collector_tile: int,
+        n_frames: int = 4,
+        n_samples: int = 64,
+        source_delay: int = 2,
+        steering_delay: int | None = None,
+        seed: int = 0,
+        aggregators: dict[int, list[int]] | None = None,
+        intra_ttl: int | None = None,
+        backbone_ttl: int | None = None,
+        frame_interval: int = 1,
+    ) -> None:
+        if collector_tile in sensor_tiles:
+            raise ValueError("collector cannot share a sensor tile")
+        if len(set(sensor_tiles)) != len(sensor_tiles):
+            raise ValueError("sensor tiles must be distinct")
+        n_sensors = len(sensor_tiles)
+        if steering_delay is None:
+            steering_delay = source_delay
+        self.collector_tile = collector_tile
+        self.sensor_tiles = list(sensor_tiles)
+        self.n_sensors = n_sensors
+        sensor_index_of = {tile: k for k, tile in enumerate(sensor_tiles)}
+
+        all_frames = [
+            synthesize_plane_wave(
+                n_sensors, n_samples, source_delay, seed=seed + f
+            )
+            for f in range(n_frames)
+        ]
+
+        def frames_for(sensor_index: int) -> np.ndarray:
+            return np.stack(
+                [all_frames[f][sensor_index] for f in range(n_frames)]
+            )
+
+        self.aggregator_cores: list[tuple[int, AggregatorCore]] = []
+        if aggregators is None:
+            self.collector: IPCore = CollectorCore(
+                n_sensors, n_frames, steering_delay
+            )
+            self.sensors = [
+                SensorCore(
+                    k,
+                    collector_tile,
+                    frames_for(k),
+                    ttl=intra_ttl,
+                    frame_interval=frame_interval,
+                )
+                for k in range(n_sensors)
+            ]
+        else:
+            covered = [t for tiles in aggregators.values() for t in tiles]
+            if sorted(covered) != sorted(sensor_tiles):
+                raise ValueError(
+                    "aggregators must partition the sensor tiles exactly"
+                )
+            if collector_tile in aggregators:
+                raise ValueError("collector cannot double as an aggregator")
+            self.collector = AggregatedCollectorCore(
+                len(aggregators), n_sensors, n_frames
+            )
+            self.sensors = []
+            for agg_index, (agg_tile, tiles) in enumerate(
+                sorted(aggregators.items())
+            ):
+                indices = [sensor_index_of[t] for t in tiles]
+                self.aggregator_cores.append(
+                    (
+                        agg_tile,
+                        AggregatorCore(
+                            agg_index,
+                            collector_tile,
+                            indices,
+                            n_frames,
+                            steering_delay,
+                            ttl=backbone_ttl,
+                        ),
+                    )
+                )
+                for tile in tiles:
+                    k = sensor_index_of[tile]
+                    self.sensors.append(
+                        SensorCore(
+                            k,
+                            agg_tile,
+                            frames_for(k),
+                            ttl=intra_ttl,
+                            frame_interval=frame_interval,
+                        )
+                    )
+            # Keep sensors aligned with sensor_tiles order for placements.
+            order = {s.sensor_index: s for s in self.sensors}
+            self.sensors = [order[k] for k in range(n_sensors)]
+
+    def placements(self) -> list[Placement]:
+        result = [Placement(self.collector_tile, self.collector)]
+        result.extend(
+            Placement(tile, core) for tile, core in self.aggregator_cores
+        )
+        result.extend(
+            Placement(tile, sensor)
+            for tile, sensor in zip(self.sensor_tiles, self.sensors)
+        )
+        return result
+
+    @property
+    def complete(self) -> bool:
+        return self.collector.complete

@@ -1,0 +1,266 @@
+"""Parallel 2-D FFT (thesis §4.1.2, Eq. 5, Fig 4-3).
+
+The 2-D transform of an N x N image decimates into four (N/2) x (N/2)
+sub-transforms (even/odd rows x even/odd columns); the root tile scatters
+the sub-images, each worker computes its sub-transform with a from-scratch
+radix-2 Cooley-Tukey kernel, and the root recombines with twiddle factors:
+
+    X[k1,k2] = sum_{a,b in {0,1}} W_N^(a*k1) * W_N^(b*k2)
+               * S_ab[k1 mod N/2, k2 mod N/2]
+
+As with the Master-Slave study, workers may be duplicated; replicas emit
+packets under their primary's identity so results deduplicate in-network.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.apps.base import Application, Placement
+from repro.core.packet import BROADCAST, Packet
+from repro.noc.tile import IPCore, TileContext
+
+#: Task header: quadrant row-parity a, col-parity b, sub-image side M.
+_TASK = struct.Struct(">iii")
+#: Result header: quadrant a, b, side M (payload continues with data).
+_RESULT = struct.Struct(">iii")
+
+_RESULT_MSG_ID = 2_000_000
+
+
+def fft_radix2(x: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 decimation-in-time FFT (power-of-two length).
+
+    A from-scratch kernel so the reproduction does not lean on ``np.fft``
+    for the system under test; validated against the direct DFT in tests.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[0]
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"length must be a power of two, got {n}")
+    # Bit-reversal permutation.
+    levels = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for _ in range(levels):
+        reversed_indices = (reversed_indices << 1) | (indices & 1)
+        indices >>= 1
+    result = x[reversed_indices].copy()
+    # Butterfly passes.
+    size = 2
+    while size <= n:
+        half = size // 2
+        twiddle = np.exp(-2j * np.pi * np.arange(half) / size)
+        blocks = result.reshape(n // size, size)
+        even = blocks[:, :half].copy()
+        odd = blocks[:, half:] * twiddle
+        blocks[:, :half] = even + odd
+        blocks[:, half:] = even - odd
+        size *= 2
+    return result
+
+
+def fft2_radix2(image: np.ndarray) -> np.ndarray:
+    """2-D FFT by row-column decomposition over :func:`fft_radix2`."""
+    image = np.asarray(image, dtype=np.complex128)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {image.shape}")
+    rows = np.stack([fft_radix2(row) for row in image])
+    cols = np.stack([fft_radix2(col) for col in rows.T]).T
+    return cols
+
+
+def decimate_quadrants(image: np.ndarray) -> dict[tuple[int, int], np.ndarray]:
+    """Split an N x N image into the four parity sub-images S_ab."""
+    n = image.shape[0]
+    if image.shape != (n, n) or n < 2 or n & 1:
+        raise ValueError(f"need an even square image, got shape {image.shape}")
+    return {
+        (a, b): np.ascontiguousarray(image[a::2, b::2])
+        for a in (0, 1)
+        for b in (0, 1)
+    }
+
+
+def recombine_quadrants(
+    sub_ffts: dict[tuple[int, int], np.ndarray], n: int
+) -> np.ndarray:
+    """Assemble the N x N FFT from the four sub-transforms (Eq. 5, 2-D)."""
+    m = n // 2
+    k1 = np.arange(n).reshape(-1, 1)
+    k2 = np.arange(n).reshape(1, -1)
+    result = np.zeros((n, n), dtype=np.complex128)
+    for (a, b), sub in sub_ffts.items():
+        if sub.shape != (m, m):
+            raise ValueError(
+                f"quadrant ({a},{b}) has shape {sub.shape}, expected {(m, m)}"
+            )
+        twiddle = np.exp(-2j * np.pi * (a * k1 + b * k2) / n)
+        result += twiddle * sub[k1 % m, k2 % m]
+    return result
+
+
+class FftRootCore(IPCore):
+    """Scatters quadrants, gathers sub-transforms, assembles the answer."""
+
+    def __init__(
+        self,
+        image: np.ndarray,
+        worker_tiles: dict[tuple[int, int], list[int]],
+    ) -> None:
+        """
+        Args:
+            image: N x N real or complex input, N a power of two >= 2.
+            worker_tiles: quadrant -> replica tile list, covering exactly
+                the four quadrants (0,0), (0,1), (1,0), (1,1).
+        """
+        image = np.asarray(image, dtype=np.complex128)
+        n = image.shape[0]
+        if image.shape != (n, n) or n < 2 or n & (n - 1):
+            raise ValueError(
+                f"image must be square with power-of-two side, got {image.shape}"
+            )
+        expected = {(a, b) for a in (0, 1) for b in (0, 1)}
+        if set(worker_tiles) != expected:
+            raise ValueError("worker_tiles must cover exactly the 4 quadrants")
+        if any(not replicas for replicas in worker_tiles.values()):
+            raise ValueError("every quadrant needs at least one worker tile")
+        self.image = image
+        self.n = n
+        self.worker_tiles = {q: list(t) for q, t in worker_tiles.items()}
+        self.sub_ffts: dict[tuple[int, int], np.ndarray] = {}
+        self._scattered = False
+        self._result: np.ndarray | None = None
+
+    def on_start(self, ctx: TileContext) -> None:
+        # Quadrant tasks are broadcast; each worker (and replica) filters by
+        # its own quadrant, so duplication adds no unique messages (§4.1.3).
+        for (a, b), sub in decimate_quadrants(self.image).items():
+            payload = _TASK.pack(a, b, sub.shape[0]) + sub.tobytes()
+            ctx.send(BROADCAST, payload)
+        self._scattered = True
+
+    def on_receive(self, ctx: TileContext, packet: Packet) -> None:
+        if len(packet.payload) < _RESULT.size:
+            return
+        a, b, m = _RESULT.unpack(packet.payload[: _RESULT.size])
+        if (a, b) not in self.worker_tiles or m != self.n // 2:
+            return
+        data = np.frombuffer(
+            packet.payload[_RESULT.size :], dtype=np.complex128
+        ).reshape(m, m)
+        self.sub_ffts.setdefault((a, b), data)
+
+    @property
+    def complete(self) -> bool:
+        return self._scattered and len(self.sub_ffts) == 4
+
+    @property
+    def result(self) -> np.ndarray:
+        """The assembled N x N FFT; raises until all quadrants arrived."""
+        if not self.complete:
+            raise RuntimeError(
+                f"only {len(self.sub_ffts)}/4 quadrants received"
+            )
+        if self._result is None:
+            self._result = recombine_quadrants(self.sub_ffts, self.n)
+        return self._result
+
+
+class FftWorkerCore(IPCore):
+    """Computes the 2-D FFT of one parity sub-image."""
+
+    def __init__(
+        self, root_tile: int, primary_tile: int, quadrant: tuple[int, int]
+    ) -> None:
+        self.root_tile = root_tile
+        self.primary_tile = primary_tile
+        self.quadrant = quadrant
+        self._done = False
+
+    def on_receive(self, ctx: TileContext, packet: Packet) -> None:
+        if self._done or len(packet.payload) < _TASK.size:
+            return
+        a, b, m = _TASK.unpack(packet.payload[: _TASK.size])
+        if (a, b) != self.quadrant:
+            return
+        sub = np.frombuffer(
+            packet.payload[_TASK.size :], dtype=np.complex128
+        ).reshape(m, m)
+        transformed = fft2_radix2(sub)
+        quadrant_code = 2 * a + b
+        ctx.send(
+            self.root_tile,
+            _RESULT.pack(a, b, m) + transformed.tobytes(),
+            source=self.primary_tile,
+            message_id=_RESULT_MSG_ID + quadrant_code,
+        )
+        self._done = True
+
+    @property
+    def complete(self) -> bool:
+        return self._done
+
+
+class Fft2dApp(Application):
+    """The §4.1.2 setup: root + 4 workers (optionally duplicated) on 4x4.
+
+    Args:
+        image: the N x N input.
+        root_tile: placement of the root IP.
+        worker_tiles: quadrant -> replica tiles; ``None`` uses the default
+            4x4 layout (root at 5; primaries at corners, replicas opposite).
+    """
+
+    def __init__(
+        self,
+        image: np.ndarray,
+        root_tile: int = 5,
+        worker_tiles: dict[tuple[int, int], list[int]] | None = None,
+        duplicate: bool = True,
+    ) -> None:
+        if worker_tiles is None:
+            if duplicate:
+                worker_tiles = {
+                    (0, 0): [0, 10],
+                    (0, 1): [3, 9],
+                    (1, 0): [12, 6],
+                    (1, 1): [15, 2],
+                }
+            else:
+                worker_tiles = {
+                    (0, 0): [0],
+                    (0, 1): [3],
+                    (1, 0): [12],
+                    (1, 1): [15],
+                }
+        self.root_tile = root_tile
+        self.root = FftRootCore(image, worker_tiles)
+        self.workers: list[tuple[int, FftWorkerCore]] = []
+        for quadrant, replicas in self.root.worker_tiles.items():
+            primary = replicas[0]
+            for tile in replicas:
+                if tile == root_tile:
+                    raise ValueError("worker cannot share the root's tile")
+                self.workers.append(
+                    (tile, FftWorkerCore(root_tile, primary, quadrant))
+                )
+
+    def placements(self) -> list[Placement]:
+        result = [Placement(self.root_tile, self.root)]
+        result.extend(Placement(tile, core) for tile, core in self.workers)
+        return result
+
+    @property
+    def critical_tiles(self) -> frozenset[int]:
+        return frozenset({self.root_tile})
+
+    @property
+    def complete(self) -> bool:
+        return self.root.complete
+
+    @property
+    def result(self) -> np.ndarray:
+        return self.root.result

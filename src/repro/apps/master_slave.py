@@ -1,0 +1,228 @@
+"""Master - Slave computation of pi (thesis §4.1.1, Eq. 4).
+
+The integral ``pi = ∫0..1 4/(1+x^2) dx`` is discretised with the midpoint
+rule into ``n_terms`` summands and split into ``n_slaves`` contiguous
+partial sums.  The master scatters (lo, hi) ranges, each slave computes its
+partial sum and replies, the master adds everything up.
+
+Fault-tolerance of the *computation* (not just the communication) comes
+from slave duplication: each slave may have a replica on another tile.  A
+replica computes the same partial sum and emits a packet with the *same*
+(source, message id) key, so the network deduplicates it and the master
+"does not have to wait for both versions" — it processes whichever copy
+arrives first (§4.1.1).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.apps.base import Application, Placement
+from repro.core.packet import BROADCAST, Packet
+from repro.noc.tile import IPCore, TileContext
+
+#: Task payload: slave index, term range [lo, hi), total term count.
+_TASK = struct.Struct(">iiii")
+#: Result payload: slave index, partial sum.
+_RESULT = struct.Struct(">id")
+
+#: Message-id pinned on every result packet of slave k (one per slave, so
+#: replicas collide on the dedup key as required).
+_RESULT_MSG_ID = 1_000_000
+
+
+def pi_partial_sum(lo: int, hi: int, n_terms: int) -> float:
+    """Midpoint-rule partial sum of Eq. 4 over term indices [lo, hi).
+
+    >>> abs(pi_partial_sum(0, 100000, 100000) - math.pi) < 1e-9
+    True
+    """
+    if not 0 <= lo <= hi <= n_terms:
+        raise ValueError(f"invalid range [{lo}, {hi}) of {n_terms} terms")
+    step = 1.0 / n_terms
+    total = 0.0
+    for i in range(lo, hi):
+        x = (i + 0.5) * step
+        total += 4.0 / (1.0 + x * x)
+    return total * step
+
+
+class MasterCore(IPCore):
+    """Scatters term ranges and gathers partial sums."""
+
+    def __init__(self, slave_tiles: list[list[int]], n_terms: int = 10_000) -> None:
+        """
+        Args:
+            slave_tiles: one entry per slave; each entry lists the tiles of
+                that slave's replicas (length 1 = no duplication).
+            n_terms: total midpoint terms in Eq. 4.
+        """
+        if not slave_tiles:
+            raise ValueError("need at least one slave")
+        if any(not replicas for replicas in slave_tiles):
+            raise ValueError("every slave needs at least one tile")
+        if n_terms < len(slave_tiles):
+            raise ValueError("need at least one term per slave")
+        self.slave_tiles = [list(replicas) for replicas in slave_tiles]
+        self.n_terms = n_terms
+        self.partials: dict[int, float] = {}
+        self._tasks_sent = False
+
+    @property
+    def n_slaves(self) -> int:
+        return len(self.slave_tiles)
+
+    def term_range(self, slave_index: int) -> tuple[int, int]:
+        """Contiguous [lo, hi) range of slave `slave_index`."""
+        per_slave = self.n_terms // self.n_slaves
+        lo = slave_index * per_slave
+        hi = self.n_terms if slave_index == self.n_slaves - 1 else lo + per_slave
+        return lo, hi
+
+    def on_start(self, ctx: TileContext) -> None:
+        # Tasks are broadcast: each slave (and each of its replicas) picks
+        # out its own slave_index from the stream.  One task = one unique
+        # message regardless of the duplication degree, which is what keeps
+        # the energy flat under duplication (§4.1.3).
+        for slave_index in range(self.n_slaves):
+            lo, hi = self.term_range(slave_index)
+            payload = _TASK.pack(slave_index, lo, hi, self.n_terms)
+            ctx.send(BROADCAST, payload)
+        self._tasks_sent = True
+
+    def on_receive(self, ctx: TileContext, packet: Packet) -> None:
+        if len(packet.payload) != _RESULT.size:
+            return  # not a result packet (e.g. broadcast noise)
+        slave_index, partial = _RESULT.unpack(packet.payload)
+        if 0 <= slave_index < self.n_slaves:
+            self.partials.setdefault(slave_index, partial)
+
+    @property
+    def complete(self) -> bool:
+        return self._tasks_sent and len(self.partials) == self.n_slaves
+
+    @property
+    def pi_estimate(self) -> float:
+        """The assembled estimate; raises until all partials arrived."""
+        if not self.complete:
+            raise RuntimeError(
+                f"only {len(self.partials)}/{self.n_slaves} partials received"
+            )
+        return sum(self.partials.values())
+
+
+class SlaveCore(IPCore):
+    """Computes one partial sum on demand.
+
+    Args:
+        master_tile: where results go.
+        primary_tile: tile id of the slave's *primary* replica; every
+            replica pins its result packet's source to this id so that
+            duplicates collapse in the network (§4.1.3).
+        slave_index: which partition this slave serves (known statically,
+            but the task packet's range is authoritative).
+    """
+
+    def __init__(self, master_tile: int, primary_tile: int, slave_index: int) -> None:
+        self.master_tile = master_tile
+        self.primary_tile = primary_tile
+        self.slave_index = slave_index
+        self._task_done = False
+
+    def on_receive(self, ctx: TileContext, packet: Packet) -> None:
+        if len(packet.payload) != _TASK.size or self._task_done:
+            return
+        slave_index, lo, hi, n_terms = _TASK.unpack(packet.payload)
+        if slave_index != self.slave_index:
+            return
+        partial = pi_partial_sum(lo, hi, n_terms)
+        ctx.send(
+            self.master_tile,
+            _RESULT.pack(slave_index, partial),
+            source=self.primary_tile,
+            message_id=_RESULT_MSG_ID + slave_index,
+        )
+        self._task_done = True
+
+    @property
+    def complete(self) -> bool:
+        return self._task_done
+
+
+class MasterSlavePiApp(Application):
+    """The full §4.1.1 setup: 1 master + `n_slaves` slaves (optionally
+    duplicated) on a mesh.
+
+    Default placement follows Fig 4-2: master at the grid centre, slaves
+    (and their replicas) spread over the remaining tiles.
+
+    Args:
+        master_tile: placement of the master IP.
+        slave_tiles: per-slave replica tile lists; replicas of one slave
+            compute identical results.
+        n_terms: midpoint terms of Eq. 4.
+    """
+
+    def __init__(
+        self,
+        master_tile: int,
+        slave_tiles: list[list[int]],
+        n_terms: int = 10_000,
+    ) -> None:
+        self.master_tile = master_tile
+        self.master = MasterCore(slave_tiles, n_terms)
+        self.slaves: list[tuple[int, SlaveCore]] = []
+        for slave_index, replicas in enumerate(self.master.slave_tiles):
+            primary = replicas[0]
+            for tile in replicas:
+                if tile == master_tile:
+                    raise ValueError("slave cannot share the master's tile")
+                self.slaves.append(
+                    (tile, SlaveCore(master_tile, primary, slave_index))
+                )
+
+    @classmethod
+    def default_5x5(
+        cls, n_slaves: int = 8, duplicate: bool = True, n_terms: int = 10_000
+    ) -> "MasterSlavePiApp":
+        """The thesis layout: 5x5 grid, master + 8 slaves, duplicated.
+
+        Master sits at the centre tile (12); slave primaries and replicas
+        interleave over the remaining tiles.
+        """
+        if not 1 <= n_slaves <= (12 if duplicate else 24):
+            raise ValueError(f"n_slaves={n_slaves} does not fit a 5x5 grid")
+        master_tile = 12
+        free = [t for t in range(25) if t != master_tile]
+        slave_tiles = []
+        for k in range(n_slaves):
+            if duplicate:
+                slave_tiles.append([free[2 * k], free[2 * k + 1]])
+            else:
+                slave_tiles.append([free[k]])
+        return cls(master_tile, slave_tiles, n_terms)
+
+    def placements(self) -> list[Placement]:
+        result = [Placement(self.master_tile, self.master)]
+        result.extend(Placement(tile, core) for tile, core in self.slaves)
+        return result
+
+    @property
+    def critical_tiles(self) -> frozenset[int]:
+        """Only the master is un-replicated; slaves survive one crash each."""
+        return frozenset({self.master_tile})
+
+    @property
+    def complete(self) -> bool:
+        # Replica-aware: the run is done when the master has every partial,
+        # regardless of which replica supplied it.
+        return self.master.complete
+
+    @property
+    def pi_estimate(self) -> float:
+        return self.master.pi_estimate
+
+    @property
+    def pi_error(self) -> float:
+        return abs(self.pi_estimate - math.pi)

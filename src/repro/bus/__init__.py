@@ -1,0 +1,30 @@
+"""The shared-bus baseline (thesis §4.1.4).
+
+A single chip-spanning bus connects all modules; transfers are serialised
+by an arbiter, so latency degrades with contention and the bus is a single
+point of failure.  The simulator is transaction-level: one transfer occupies
+the bus for ``size_bits / f_bus`` seconds and costs ``size_bits * E_bit``
+joules, using the 0.25 µm constants (43 MHz, 21.6e-10 J/bit).
+
+Applications written against the NoC's :class:`repro.noc.IPCore` interface
+run unchanged on the bus — the context object exposes the same ``send``
+primitive — which is what makes the Fig 4-6 comparison apples-to-apples.
+"""
+
+from repro.bus.arbiter import (
+    Arbiter,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+)
+from repro.bus.simulator import BusModel, BusResult, BusSimulator
+
+__all__ = [
+    "Arbiter",
+    "RoundRobinArbiter",
+    "FixedPriorityArbiter",
+    "TdmaArbiter",
+    "BusModel",
+    "BusResult",
+    "BusSimulator",
+]

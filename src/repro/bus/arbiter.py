@@ -1,0 +1,80 @@
+"""Bus arbitration policies.
+
+A shared medium needs mutual exclusion (thesis Ch. 1); the arbiter decides,
+among the modules with pending transfers, who drives the bus next.  The
+thesis ignores arbitration *overhead* (it is negligible next to transfer
+time) but the *policy* still shapes latency under contention, so three
+classic schemes are provided for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class Arbiter(ABC):
+    """Chooses the next bus master among requesting module ids."""
+
+    @abstractmethod
+    def grant(self, requesters: list[int]) -> int | None:
+        """Return the module granted the bus, or None to idle this slot.
+
+        `requesters` is sorted ascending and non-empty unless the policy
+        inserts idle slots (TDMA may be called with an empty list).
+        """
+
+    def reset(self) -> None:
+        """Clear any internal rotation state before a new run."""
+
+
+class RoundRobinArbiter(Arbiter):
+    """Fair rotation: the grant pointer advances past each winner."""
+
+    def __init__(self) -> None:
+        self._last_granted = -1
+
+    def reset(self) -> None:
+        self._last_granted = -1
+
+    def grant(self, requesters: list[int]) -> int | None:
+        if not requesters:
+            return None
+        for candidate in requesters:
+            if candidate > self._last_granted:
+                self._last_granted = candidate
+                return candidate
+        # Wrap around to the lowest requester.
+        winner = requesters[0]
+        self._last_granted = winner
+        return winner
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Lowest module id always wins (can starve high ids under load)."""
+
+    def grant(self, requesters: list[int]) -> int | None:
+        if not requesters:
+            return None
+        return requesters[0]
+
+
+class TdmaArbiter(Arbiter):
+    """Time-division slots: module ``k`` owns every ``n``-th slot.
+
+    A slot whose owner has nothing to send is *wasted* (the bus idles),
+    which is the classic TDMA latency penalty under bursty traffic.
+    """
+
+    def __init__(self, n_modules: int) -> None:
+        if n_modules < 1:
+            raise ValueError(f"n_modules must be >= 1, got {n_modules}")
+        self.n_modules = n_modules
+        self._slot = 0
+
+    def reset(self) -> None:
+        self._slot = 0
+
+    def grant(self, requesters: list[int]) -> int | None:
+        owner = self._slot % self.n_modules
+        self._slot += 1
+        return owner if owner in requesters else None

@@ -1,0 +1,240 @@
+"""Transaction-level shared-bus simulator.
+
+The bus serialises every transfer: while tile-based links move packets in
+parallel across the chip, here each message occupies the single medium for
+its full serialisation time.  Modules reuse the NoC's
+:class:`repro.noc.IPCore` hooks via a compatible context object, so the same
+application code produces both sides of the Fig 4-6 comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.packet import BROADCAST, Packet, PacketFactory
+from repro.crc import CRC, CRC16_CCITT
+from repro.faults import FaultConfig, FaultInjector
+from repro.noc.tile import IPCore
+from repro.bus.arbiter import Arbiter, RoundRobinArbiter
+
+
+@dataclass(frozen=True)
+class BusModel:
+    """Electrical model of the shared bus (thesis §4.1.4 defaults)."""
+
+    frequency_hz: float = 43e6
+    energy_per_bit_j: float = 21.6e-10
+    width_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(f"frequency must be > 0, got {self.frequency_hz}")
+        if self.energy_per_bit_j < 0:
+            raise ValueError(
+                f"energy per bit must be >= 0, got {self.energy_per_bit_j}"
+            )
+        if self.width_bits < 1:
+            raise ValueError(f"width must be >= 1, got {self.width_bits}")
+
+    def transfer_time_s(self, size_bits: int) -> float:
+        cycles = -(-size_bits // self.width_bits)
+        return cycles / self.frequency_hz
+
+    def transfer_energy_j(self, size_bits: int) -> float:
+        return size_bits * self.energy_per_bit_j
+
+
+@dataclass(frozen=True)
+class BusResult:
+    """Outcome of one bus run (mirrors :class:`SimulationResult`)."""
+
+    completed: bool
+    time_s: float
+    energy_j: float
+    transfers: int
+    bits_transmitted: int
+    upsets_detected: int
+    idle_slots: int
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.energy_j * self.time_s
+
+
+class _BusContext:
+    """Duck-typed stand-in for :class:`repro.noc.tile.TileContext`."""
+
+    def __init__(self, simulator: "BusSimulator", module_id: int) -> None:
+        self._simulator = simulator
+        self._module_id = module_id
+
+    @property
+    def tile_id(self) -> int:
+        return self._module_id
+
+    @property
+    def round_index(self) -> int:
+        return self._simulator.transfers_done
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._simulator.rng
+
+    def send(
+        self,
+        destination: int,
+        payload: bytes,
+        ttl: int | None = None,
+        source: int | None = None,
+        message_id: int | None = None,
+    ) -> Packet:
+        """Queue a transfer; ttl is meaningless on a bus and ignored."""
+        del ttl  # buses hold no gossip state
+        packet = self._simulator.factories[self._module_id].make(
+            destination,
+            payload,
+            ttl=1,
+            created_round=self._simulator.transfers_done,
+            source=source,
+            message_id=message_id,
+        )
+        self._simulator.enqueue(self._module_id, packet)
+        return packet
+
+
+class BusSimulator:
+    """All modules on one arbitrated bus.
+
+    Args:
+        n_modules: number of attached modules (ids 0..n-1).
+        arbiter: arbitration policy; defaults to round-robin.
+        bus_model: timing/energy constants.
+        fault_config: only ``p_upset`` applies (a bus has no buffers to
+            overflow per-hop and a crashed bus kills everything trivially).
+        seed: RNG seed for IP logic and upset draws.
+        crc: receive-path error detection, as on the NoC tiles.
+    """
+
+    def __init__(
+        self,
+        n_modules: int,
+        arbiter: Arbiter | None = None,
+        bus_model: BusModel | None = None,
+        fault_config: FaultConfig | None = None,
+        *,
+        seed: int | None = None,
+        crc: CRC = CRC16_CCITT,
+    ) -> None:
+        if n_modules < 1:
+            raise ValueError(f"n_modules must be >= 1, got {n_modules}")
+        self.n_modules = n_modules
+        self.arbiter = arbiter if arbiter is not None else RoundRobinArbiter()
+        self.bus_model = bus_model if bus_model is not None else BusModel()
+        self.fault_config = fault_config or FaultConfig.fault_free()
+        self.rng = np.random.default_rng(seed)
+        self.injector = FaultInjector(self.fault_config, self.rng)
+        self.crc = crc
+        self.modules: dict[int, IPCore] = {}
+        self.factories = {
+            mid: PacketFactory(mid, default_ttl=1, crc=crc)
+            for mid in range(n_modules)
+        }
+        self._queues: dict[int, deque[Packet]] = {
+            mid: deque() for mid in range(n_modules)
+        }
+        self.transfers_done = 0
+
+    def mount(self, module_id: int, ip: IPCore) -> None:
+        if not 0 <= module_id < self.n_modules:
+            raise ValueError(
+                f"module id {module_id} out of range 0..{self.n_modules - 1}"
+            )
+        self.modules[module_id] = ip
+
+    def enqueue(self, module_id: int, packet: Packet) -> None:
+        self._queues[module_id].append(packet)
+
+    def _application_complete(self) -> bool:
+        return bool(self.modules) and all(
+            ip.complete for ip in self.modules.values()
+        )
+
+    def _deliver(self, packet: Packet) -> None:
+        """Hand an intact transfer to its addressee(s).
+
+        A bus is naturally a broadcast medium: a BROADCAST destination
+        reaches every module except the sender in the one transfer.
+        """
+        if packet.destination == BROADCAST:
+            for module_id, ip in self.modules.items():
+                if module_id != packet.source:
+                    ip.on_receive(_BusContext(self, module_id), packet)
+            return
+        receiver = self.modules.get(packet.destination)
+        if receiver is not None:
+            receiver.on_receive(_BusContext(self, packet.destination), packet)
+
+    def run(self, max_transfers: int = 100_000) -> BusResult:
+        """Serialise transfers until the application completes.
+
+        Args:
+            max_transfers: budget on bus grants (including idle TDMA
+                slots) to bound runs that can never finish, e.g. when an
+                upset destroyed a message the app was waiting for.
+        """
+        if max_transfers < 1:
+            raise ValueError(f"max_transfers must be >= 1, got {max_transfers}")
+        self.arbiter.reset()
+        time_s = 0.0
+        energy_j = 0.0
+        bits = 0
+        upsets_detected = 0
+        idle_slots = 0
+        self.transfers_done = 0
+        # One idle TDMA slot costs a minimal bus transaction (one beat).
+        idle_slot_s = self.bus_model.transfer_time_s(self.bus_model.width_bits)
+
+        for module_id, ip in self.modules.items():
+            ip.on_start(_BusContext(self, module_id))
+
+        completed = self._application_complete()
+        for _ in range(max_transfers):
+            if completed:
+                break
+            requesters = sorted(
+                mid for mid, queue in self._queues.items() if queue
+            )
+            if not requesters:
+                break  # quiescent but incomplete: the app lost a message
+            winner = self.arbiter.grant(requesters)
+            if winner is None:
+                time_s += idle_slot_s
+                idle_slots += 1
+                continue
+            packet = self._queues[winner].popleft()
+            size = packet.size_bits
+            time_s += self.bus_model.transfer_time_s(size)
+            energy_j += self.bus_model.transfer_energy_j(size)
+            bits += size
+            self.transfers_done += 1
+
+            if self.injector.upset_occurs():
+                packet = packet.scrambled(self.injector.corrupt(packet.codeword))
+            if not packet.is_intact():
+                upsets_detected += 1
+            else:
+                self._deliver(packet)
+            completed = self._application_complete()
+
+        return BusResult(
+            completed=completed,
+            time_s=time_s,
+            energy_j=energy_j,
+            transfers=self.transfers_done,
+            bits_transmitted=bits,
+            upsets_detected=upsets_detected,
+            idle_slots=idle_slots,
+        )

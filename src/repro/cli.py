@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands cover the common workflows without writing a script:
+
+* ``info`` — version and package map;
+* ``spread`` — broadcast a rumor on a topology, print the saturation
+  curve and an ASCII heat map of the final state;
+* ``probe`` — Monte-Carlo delivery probability / latency profile /
+  minimum-TTL search for one unicast pair (the designer tools);
+* ``mp3`` — run the Fig 4-7 parallel encoder under a chosen fault level
+  and report frames, bit-rate and SNR;
+* ``figure`` — regenerate one thesis figure's data series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import repro
+from repro.core.analysis import (
+    delivery_probability,
+    latency_profile,
+    minimum_ttl,
+)
+from repro.core.protocol import StochasticProtocol
+from repro.faults import FaultConfig
+from repro.noc.engine import NocSimulator
+from repro.noc.topology import FullyConnected, Mesh2D, Torus2D
+from repro.noc.trace import render_spread
+
+#: Figures the `figure` command can regenerate.
+FIGURES = (
+    "fig3_1",
+    "fig4_4",
+    "fig4_5",
+    "fig4_6",
+    "fig4_8",
+    "fig4_9",
+    "fig4_10",
+    "fig4_11",
+    "fig5_3",
+)
+
+
+def _build_topology(name: str, side: int):
+    if name == "mesh":
+        return Mesh2D(side)
+    if name == "torus":
+        return Torus2D(side)
+    if name == "complete":
+        return FullyConnected(side * side)
+    raise ValueError(f"unknown topology {name!r}")
+
+
+def _fault_config(args: argparse.Namespace) -> FaultConfig:
+    return FaultConfig(
+        p_upset=args.upset,
+        p_overflow=args.overflow,
+        sigma_synchr=args.sigma,
+    )
+
+
+# ------------------------------------------------------------------ commands
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    del args
+    print(f"repro {repro.__version__} — On-Chip Stochastic Communication")
+    print("(Dumitras & Marculescu, DATE 2003 / CMU MS thesis 2003)")
+    print()
+    print("packages: core noc faults crc bus energy apps mp3 diversity "
+          "experiments")
+    print("commands: info spread probe mp3 figure")
+    return 0
+
+
+def cmd_spread(args: argparse.Namespace) -> int:
+    from repro.experiments.grid_spread import measure_spread
+
+    topology = _build_topology(args.topology, args.side)
+    measurement = measure_spread(
+        topology,
+        forward_probability=args.p,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(
+        f"{measurement.topology_name}: {measurement.n_tiles} tiles, "
+        f"p = {args.p}"
+    )
+    print(
+        f"saturation: {measurement.saturation_rounds_mean:.1f} "
+        f"+/- {measurement.saturation_rounds_std:.1f} rounds "
+        f"(completion {measurement.completion_rate:.0%})"
+    )
+    print("round : informed")
+    for round_index, informed in enumerate(measurement.informed_curve):
+        print(f"  {round_index:>3} : {informed:.1f}")
+    # One illustrative run's final picture.
+    simulator = NocSimulator(
+        topology, StochasticProtocol(args.p), seed=args.seed
+    )
+    from repro.experiments.grid_spread import _BroadcastSeed
+
+    simulator.mount(0, _BroadcastSeed(ttl=100))
+    simulator.run(
+        100,
+        until=lambda sim: len(sim.informed_tiles()) == topology.n_tiles,
+    )
+    print(render_spread(simulator))
+    return 0
+
+
+def cmd_probe(args: argparse.Namespace) -> int:
+    topology = _build_topology(args.topology, args.side)
+    fault_config = _fault_config(args)
+    probability = delivery_probability(
+        topology,
+        args.p,
+        args.src,
+        args.dst,
+        ttl=args.ttl,
+        fault_config=fault_config,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    profile = latency_profile(
+        topology,
+        args.p,
+        args.src,
+        args.dst,
+        ttl=args.ttl,
+        fault_config=fault_config,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(
+        f"unicast {args.src} -> {args.dst} on {args.topology}({args.side}), "
+        f"p = {args.p}, ttl = {args.ttl}"
+    )
+    print(f"delivery probability: {probability:.3f}")
+    if profile.delivery_rate > 0:
+        print(
+            f"latency rounds: mean {profile.rounds_mean:.1f}, "
+            f"p50 {profile.rounds_p50:.0f}, p95 {profile.rounds_p95:.0f}"
+        )
+    if args.target is not None:
+        ttl = minimum_ttl(
+            topology,
+            args.p,
+            args.src,
+            args.dst,
+            target_probability=args.target,
+            fault_config=fault_config,
+            trials=args.trials,
+            seed=args.seed,
+        )
+        print(f"minimum ttl for P >= {args.target}: {ttl}")
+    return 0
+
+
+def cmd_mp3(args: argparse.Namespace) -> int:
+    from repro.apps.base import run_on_noc
+    from repro.mp3 import Mp3Decoder, ParallelMp3App, reconstruction_snr_db
+
+    app = ParallelMp3App(
+        n_frames=args.frames,
+        granule=args.granule,
+        bitrate_bps=args.bitrate,
+        skip_after=40,
+        seed=args.seed,
+    )
+    simulator = NocSimulator(
+        Mesh2D(4, 4),
+        StochasticProtocol(args.p),
+        _fault_config(args),
+        seed=args.seed,
+        default_ttl=24,
+    )
+    result = run_on_noc(app, simulator, max_rounds=args.max_rounds)
+    report = app.report()
+    decoder = Mp3Decoder(granule=args.granule)
+    reconstruction = decoder.decode(app.output.frames, args.frames)
+    snr = reconstruction_snr_db(app.source.all_frames(), reconstruction)
+    print(
+        f"encoded {report.frames_received}/{report.n_frames} granules in "
+        f"{result.rounds} rounds "
+        f"({'complete' if report.encoding_complete else 'incomplete'})"
+    )
+    print(f"output bit-rate: {report.bitrate_bps / 1000:.1f} kbps")
+    print(f"reconstruction SNR: {snr:.2f} dB")
+    print(
+        f"network: {result.stats.transmissions_delivered} transmissions, "
+        f"{result.stats.upsets_detected} upsets caught, "
+        f"{result.stats.overflow_drops} overflow drops"
+    )
+    return 0 if report.encoding_complete else 1
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+
+    module = getattr(experiments, args.name)
+    print(f"=== {args.name} ===")
+    if args.name == "fig4_10":
+        for point in module.run_overflow():
+            print(point)
+        for point in module.run_synchronization():
+            print(point)
+    elif args.name == "fig4_11":
+        for point in module.run_overflow():
+            print(point)
+        for point in module.run_synchronization():
+            print(point)
+    else:
+        outcome = module.run()
+        if isinstance(outcome, list):
+            for row in outcome:
+                print(row)
+        else:
+            print(outcome)
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="On-Chip Stochastic Communication — reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="version and package map")
+    info.set_defaults(handler=cmd_info)
+
+    spread = subparsers.add_parser(
+        "spread", help="broadcast saturation on a topology"
+    )
+    spread.add_argument(
+        "--topology", choices=("mesh", "torus", "complete"), default="mesh"
+    )
+    spread.add_argument("--side", type=int, default=4)
+    spread.add_argument("--p", type=float, default=0.5)
+    spread.add_argument("--repetitions", type=int, default=5)
+    spread.add_argument("--seed", type=int, default=0)
+    spread.set_defaults(handler=cmd_spread)
+
+    probe = subparsers.add_parser(
+        "probe", help="unicast delivery probability / latency / min TTL"
+    )
+    probe.add_argument(
+        "--topology", choices=("mesh", "torus", "complete"), default="mesh"
+    )
+    probe.add_argument("--side", type=int, default=4)
+    probe.add_argument("--p", type=float, default=0.5)
+    probe.add_argument("--src", type=int, default=0)
+    probe.add_argument("--dst", type=int, default=15)
+    probe.add_argument("--ttl", type=int, default=12)
+    probe.add_argument("--trials", type=int, default=100)
+    probe.add_argument("--seed", type=int, default=0)
+    probe.add_argument(
+        "--target",
+        type=float,
+        default=None,
+        help="also search the minimum TTL for this delivery probability",
+    )
+    probe.add_argument("--upset", type=float, default=0.0)
+    probe.add_argument("--overflow", type=float, default=0.0)
+    probe.add_argument("--sigma", type=float, default=0.0)
+    probe.set_defaults(handler=cmd_probe)
+
+    mp3 = subparsers.add_parser(
+        "mp3", help="run the Fig 4-7 parallel encoder under faults"
+    )
+    mp3.add_argument("--frames", type=int, default=6)
+    mp3.add_argument("--granule", type=int, default=288)
+    mp3.add_argument("--bitrate", type=int, default=192_000)
+    mp3.add_argument("--p", type=float, default=0.5)
+    mp3.add_argument("--max-rounds", type=int, default=2000)
+    mp3.add_argument("--seed", type=int, default=0)
+    mp3.add_argument("--upset", type=float, default=0.0)
+    mp3.add_argument("--overflow", type=float, default=0.0)
+    mp3.add_argument("--sigma", type=float, default=0.0)
+    mp3.set_defaults(handler=cmd_mp3)
+
+    figure = subparsers.add_parser(
+        "figure", help="regenerate one thesis figure's data"
+    )
+    figure.add_argument("name", choices=FIGURES)
+    figure.set_defaults(handler=cmd_figure)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Designer-facing tuning tools.
+
+The thesis sells *p* and the TTL as the knobs that "tune the trade-off
+between performance and energy consumption" (§3.2.2) but leaves picking
+them to the designer.  These helpers close that loop with seeded
+Monte-Carlo estimation on the actual simulator:
+
+* :func:`delivery_probability` — P(a unicast arrives) for a given
+  (topology, p, TTL, fault level);
+* :func:`minimum_ttl` — the smallest TTL meeting a delivery target
+  (monotone, found by exponential + binary search);
+* :func:`latency_profile` — delivery-latency quantiles for jitter-aware
+  budgeting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.protocol import StochasticProtocol
+from repro.faults import FaultConfig
+from repro.noc.engine import NocSimulator
+from repro.noc.tile import IPCore, TileContext
+from repro.noc.topology import Topology
+
+
+class _Probe(IPCore):
+    """Sends one probe packet at round 0."""
+
+    def __init__(self, destination: int, ttl: int) -> None:
+        self.destination = destination
+        self.ttl = ttl
+        self.sent = False
+
+    def on_start(self, ctx: TileContext) -> None:
+        ctx.send(self.destination, b"probe", ttl=self.ttl)
+        self.sent = True
+
+    @property
+    def complete(self) -> bool:
+        return self.sent
+
+
+class _ProbeSink(IPCore):
+    def __init__(self) -> None:
+        self.arrival_round: int | None = None
+
+    def on_receive(self, ctx: TileContext, packet) -> None:
+        if self.arrival_round is None:
+            self.arrival_round = ctx.round_index
+
+    @property
+    def complete(self) -> bool:
+        return self.arrival_round is not None
+
+
+def _probe_once(
+    topology: Topology,
+    forward_probability: float,
+    source: int,
+    destination: int,
+    ttl: int,
+    fault_config: FaultConfig | None,
+    seed: int,
+) -> int | None:
+    """One seeded probe; returns the arrival round or None."""
+    simulator = NocSimulator(
+        topology,
+        StochasticProtocol(forward_probability),
+        fault_config,
+        seed=seed,
+        default_ttl=ttl,
+    )
+    sink = _ProbeSink()
+    simulator.mount(source, _Probe(destination, ttl))
+    simulator.mount(destination, sink)
+    simulator.run(ttl + 4)
+    return sink.arrival_round
+
+
+def delivery_probability(
+    topology: Topology,
+    forward_probability: float,
+    source: int,
+    destination: int,
+    ttl: int,
+    fault_config: FaultConfig | None = None,
+    trials: int = 100,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of P(unicast source -> destination arrives).
+
+    >>> from repro.noc.topology import Mesh2D
+    >>> delivery_probability(Mesh2D(3, 3), 1.0, 0, 8, ttl=6, trials=5)
+    1.0
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if ttl < 1:
+        raise ValueError(f"ttl must be >= 1, got {ttl}")
+    hits = sum(
+        _probe_once(
+            topology,
+            forward_probability,
+            source,
+            destination,
+            ttl,
+            fault_config,
+            seed + trial,
+        )
+        is not None
+        for trial in range(trials)
+    )
+    return hits / trials
+
+
+def minimum_ttl(
+    topology: Topology,
+    forward_probability: float,
+    source: int,
+    destination: int,
+    target_probability: float = 0.99,
+    fault_config: FaultConfig | None = None,
+    trials: int = 100,
+    seed: int = 0,
+    max_ttl: int = 256,
+) -> int:
+    """Smallest TTL whose estimated delivery probability meets the target.
+
+    Delivery probability is monotone non-decreasing in the TTL (a longer-
+    lived packet strictly dominates), so exponential search for an upper
+    bound followed by bisection applies.
+
+    Raises:
+        RuntimeError: if even `max_ttl` misses the target (e.g. the
+            destination is unreachable at this fault level).
+    """
+    if not 0.0 < target_probability <= 1.0:
+        raise ValueError(
+            f"target_probability must be in (0, 1], got {target_probability}"
+        )
+
+    def meets(ttl: int) -> bool:
+        return (
+            delivery_probability(
+                topology,
+                forward_probability,
+                source,
+                destination,
+                ttl,
+                fault_config,
+                trials,
+                seed,
+            )
+            >= target_probability
+        )
+
+    hop_lower_bound = topology.hop_distance(source, destination)
+    upper = max(hop_lower_bound, 1)
+    while not meets(upper):
+        upper *= 2
+        if upper > max_ttl:
+            raise RuntimeError(
+                f"no TTL <= {max_ttl} reaches P >= {target_probability}"
+            )
+    lower = max(hop_lower_bound, 1)
+    while lower < upper:
+        middle = (lower + upper) // 2
+        if meets(middle):
+            upper = middle
+        else:
+            lower = middle + 1
+    return lower
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Delivery-latency statistics from a probe campaign.
+
+    Attributes:
+        delivery_rate: fraction of probes that arrived.
+        rounds_mean / rounds_p50 / rounds_p95: arrival-round statistics
+            over the *delivered* probes.
+    """
+
+    delivery_rate: float
+    rounds_mean: float
+    rounds_p50: float
+    rounds_p95: float
+
+
+def latency_profile(
+    topology: Topology,
+    forward_probability: float,
+    source: int,
+    destination: int,
+    ttl: int,
+    fault_config: FaultConfig | None = None,
+    trials: int = 200,
+    seed: int = 0,
+) -> LatencyProfile:
+    """Quantiles of the unicast delivery latency (jitter budgeting)."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    arrivals = [
+        _probe_once(
+            topology,
+            forward_probability,
+            source,
+            destination,
+            ttl,
+            fault_config,
+            seed + trial,
+        )
+        for trial in range(trials)
+    ]
+    delivered = [a for a in arrivals if a is not None]
+    if not delivered:
+        return LatencyProfile(0.0, float("nan"), float("nan"), float("nan"))
+    rounds = np.array(delivered, dtype=float)
+    return LatencyProfile(
+        delivery_rate=len(delivered) / trials,
+        rounds_mean=float(rounds.mean()),
+        rounds_p50=float(np.percentile(rounds, 50)),
+        rounds_p95=float(np.percentile(rounds, 95)),
+    )

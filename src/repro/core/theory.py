@@ -1,0 +1,147 @@
+"""Rumor-spreading theory (thesis §3.1).
+
+The classic push-gossip process: one initiator knows a rumor; every round,
+each informed node passes it to one uniformly random other node.  With
+``I(t)`` informed nodes after *t* rounds, the deterministic approximation is
+
+    I(t+1) = n - (n - I(t)) * exp(-I(t)/n),     I(0) = 1        (Eq. 1)
+
+and the time to inform everyone is
+
+    S_n = log2(n) + ln(n) + O(1)   as n -> inf   (w.h.p.)
+
+These are the curves behind thesis Fig 3-1 (1000-node fully connected
+network informed in < 20 rounds).  The simulator here is a lightweight
+standalone implementation of exactly that process — no packets, no faults —
+so the theory/simulation comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def deterministic_spread(n: int, rounds: int) -> list[float]:
+    """Iterate Eq. 1, returning ``[I(0), I(1), ..., I(rounds)]``.
+
+    >>> deterministic_spread(1000, 0)
+    [1.0]
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if rounds < 0:
+        raise ValueError(f"rounds must be >= 0, got {rounds}")
+    informed = [1.0]
+    for _ in range(rounds):
+        i_t = informed[-1]
+        informed.append(n - (n - i_t) * math.exp(-i_t / n))
+    return informed
+
+
+def expected_rounds_to_inform_all(n: int) -> float:
+    """The leading-order estimate ``S_n ~ log2(n) + ln(n)`` (Pittel 1987).
+
+    The O(1) term is dropped; empirical runs land within ~3 rounds of this
+    for n up to 10^5.
+
+    >>> round(expected_rounds_to_inform_all(1000), 1)
+    16.9
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    return math.log2(n) + math.log(n)
+
+
+def rounds_until_informed(n: int, fraction: float = 1.0) -> int:
+    """Rounds of Eq. 1 until at least ``fraction * n`` nodes are informed.
+
+    ``fraction=1.0`` is interpreted as "all but less than one expected
+    node", i.e. ``I(t) >= n - 0.5``, since the fixed point is approached
+    asymptotically.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    target = n - 0.5 if fraction == 1.0 else fraction * n
+    informed = 1.0
+    rounds = 0
+    # Eq. 1 converges geometrically; 10 * S_n is a generous safety bound.
+    limit = max(10, int(10 * expected_rounds_to_inform_all(max(n, 2))))
+    while informed < target:
+        informed = n - (n - informed) * math.exp(-informed / n)
+        rounds += 1
+        if rounds > limit:
+            raise RuntimeError(
+                f"Eq. 1 failed to reach {target} of {n} within {limit} rounds"
+            )
+    return rounds
+
+
+def simulate_rumor_spread(
+    n: int,
+    rounds: int | None = None,
+    fanout: int = 1,
+    seed: int | None = None,
+) -> list[int]:
+    """Simulate push gossip on the complete graph (Fig 3-1).
+
+    Every round, each informed node picks `fanout` uniformly random other
+    nodes (with replacement across nodes, without self-selection) and
+    informs them.
+
+    Args:
+        n: number of nodes.
+        rounds: stop after this many rounds; ``None`` runs until everyone
+            is informed.
+        fanout: targets chosen per informed node per round.
+        seed: RNG seed.
+
+    Returns:
+        ``counts`` with ``counts[t]`` = informed nodes after *t* rounds
+        (``counts[0] == 1``).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    rng = np.random.default_rng(seed)
+    informed = np.zeros(n, dtype=bool)
+    informed[0] = True
+    counts = [1]
+    budget = rounds if rounds is not None else 100 * max(
+        1, int(expected_rounds_to_inform_all(max(n, 2)))
+    )
+    for _ in range(budget):
+        if rounds is None and counts[-1] == n:
+            break
+        sources = np.nonzero(informed)[0]
+        if counts[-1] < n:
+            # Each source draws `fanout` targets uniformly from the other
+            # n-1 nodes (shift trick avoids self-selection).
+            draws = rng.integers(0, n - 1, size=(len(sources), fanout))
+            targets = draws + (draws >= sources[:, None])
+            informed[targets.ravel()] = True
+        counts.append(int(informed.sum()))
+    return counts
+
+
+def recommended_ttl(n: int, diameter: int, slack: int = 2) -> int:
+    """A TTL that lets a packet cross the chip and keep gossiping.
+
+    The broadcast saturates in O(log n) rounds w.h.p., but a unicast must
+    also physically traverse up to `diameter` hops, so the TTL combines
+    both plus a safety slack (§3.2.2: the TTL bounds bandwidth and energy).
+
+    >>> recommended_ttl(16, 6)
+    12
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if diameter < 0:
+        raise ValueError(f"diameter must be >= 0, got {diameter}")
+    if slack < 0:
+        raise ValueError(f"slack must be >= 0, got {slack}")
+    return diameter + math.ceil(math.log2(max(n, 2))) + slack

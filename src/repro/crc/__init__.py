@@ -1,0 +1,27 @@
+"""Cyclic redundancy codes.
+
+The stochastic communication protocol never retransmits on request: a tile
+detects a scrambled packet with a CRC and simply discards it, trusting the
+gossip redundancy to deliver another copy (thesis §3.2.2).  This package
+provides the table-driven CRC engine used by every tile's receive path.
+"""
+
+from repro.crc.engine import (
+    CRC,
+    CRC8,
+    CRC16_CCITT,
+    CRC32,
+    CrcSpec,
+    REGISTERED_SPECS,
+    crc_for,
+)
+
+__all__ = [
+    "CRC",
+    "CRC8",
+    "CRC16_CCITT",
+    "CRC32",
+    "CrcSpec",
+    "REGISTERED_SPECS",
+    "crc_for",
+]

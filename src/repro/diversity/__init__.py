@@ -1,0 +1,36 @@
+"""On-chip diversity (thesis Ch. 5).
+
+Future SoCs mix architectural styles (voltage/frequency islands) and
+technologies (CMOS / nano / MEMS); stochastic communication is proposed as
+the glue.  This package provides:
+
+* :mod:`islands` — a voltage/frequency island model assigning per-tile
+  clock/energy scaling;
+* :mod:`architectures` — the three communication structures of Fig 5-2
+  (hierarchical NoC, shared-bus-connected NoCs, central router) plus the
+  flat NoC baseline, each built as a topology + engine configuration;
+* :mod:`compare` — the Fig 5-3 harness running one workload across
+  architectures and tabulating latency and message transmissions.
+"""
+
+from repro.diversity.architectures import (
+    ArchitectureSpec,
+    BusConnectedNocs,
+    CentralRouter,
+    FlatNoc,
+    HierarchicalNoc,
+)
+from repro.diversity.compare import ArchitectureComparison, compare_architectures
+from repro.diversity.islands import Island, IslandPlan
+
+__all__ = [
+    "ArchitectureSpec",
+    "FlatNoc",
+    "HierarchicalNoc",
+    "BusConnectedNocs",
+    "CentralRouter",
+    "ArchitectureComparison",
+    "compare_architectures",
+    "Island",
+    "IslandPlan",
+]

@@ -1,0 +1,297 @@
+"""The communication architectures of thesis Fig 5-2.
+
+Each architecture is a factory producing a topology plus the engine
+configuration (link delays, energy overrides, egress limits) that makes the
+structure behave like itself:
+
+* **FlatNoc** — one homogeneous mesh (the Ch. 3-4 baseline);
+* **HierarchicalNoc** — four mesh clusters whose corner "head" tiles form a
+  second-level ring backbone; inter-cluster traffic funnels through heads,
+  which is what cuts total transmissions;
+* **BusConnectedNocs** — four mesh clusters bridged by a shared bus,
+  modelled as a bridge tile with bus-grade link delay/energy and an egress
+  limit of one grant per slot (serialisation);
+* **CentralRouter** — four clusters hanging off one full-speed crossbar
+  tile.
+
+All four expose the same global tile-id space, so one application placement
+strategy works everywhere: the harness asks the architecture where to put
+sensors and the collector.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.noc.topology import CustomTopology, Mesh2D, Topology
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Everything needed to instantiate a NocSimulator for an architecture.
+
+    Attributes:
+        name: display label (Fig 5-3 x-axis).
+        topology: the tile graph.
+        link_delays: per-link delay map for slow (bus) segments.
+        link_energy_overrides: per-link energy-per-bit map.
+        egress_limits: per-tile grants/round (bus serialisation).
+        sensor_tiles: suggested sensor placement for the beamforming load.
+        collector_tile: suggested collector placement.
+        aggregation: aggregator tile -> sensor tiles it serves, for the
+            hierarchical application mapping; None means the direct
+            (flat) mapping.
+        intra_ttl: suggested TTL for intra-cluster traffic (bounds local
+            gossip spread); None lets the simulator default apply.
+        backbone_ttl: suggested TTL for cross-cluster traffic (must cover
+            queueing at a serialised bridge, since TTLs tick per round).
+    """
+
+    name: str
+    topology: Topology
+    link_delays: dict[tuple[int, int], int] = field(default_factory=dict)
+    link_energy_overrides: dict[tuple[int, int], float] = field(
+        default_factory=dict
+    )
+    egress_limits: dict[int, int] = field(default_factory=dict)
+    sensor_tiles: tuple[int, ...] = ()
+    collector_tile: int = 0
+    aggregation: dict[int, tuple[int, ...]] | None = None
+    intra_ttl: int | None = None
+    backbone_ttl: int | None = None
+    bus_tiles: frozenset[int] = frozenset()
+
+    def simulator_kwargs(self) -> dict[str, object]:
+        """Keyword arguments to splat into :class:`NocSimulator`."""
+        return {
+            "link_delays": dict(self.link_delays),
+            "link_energy_overrides": dict(self.link_energy_overrides),
+            "egress_limits": dict(self.egress_limits),
+            "bus_tiles": frozenset(self.bus_tiles),
+        }
+
+
+class Architecture(ABC):
+    """Factory for one Fig 5-2 structure."""
+
+    @abstractmethod
+    def build(self) -> ArchitectureSpec:
+        """Construct the topology and engine configuration."""
+
+
+def _cluster_meshes(
+    cluster_side: int,
+) -> tuple[dict[int, list[int]], list[list[int]], dict[int, tuple[float, float]]]:
+    """Four `cluster_side`^2 meshes with disjoint global ids.
+
+    Returns (adjacency, per-cluster tile lists, positions); clusters are
+    placed in the four quadrants of the plane.
+    """
+    adjacency: dict[int, list[int]] = {}
+    clusters: list[list[int]] = []
+    positions: dict[int, tuple[float, float]] = {}
+    mesh = Mesh2D(cluster_side)
+    quadrant_offsets = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)]
+    for cluster_index in range(4):
+        base = cluster_index * mesh.n_tiles
+        members = [base + local for local in mesh.tile_ids]
+        clusters.append(members)
+        ox, oy = quadrant_offsets[cluster_index]
+        for local in mesh.tile_ids:
+            adjacency[base + local] = [
+                base + neighbor for neighbor in mesh.neighbors(local)
+            ]
+            x, y = mesh.position(local)
+            positions[base + local] = (x + ox, y + oy)
+    return adjacency, clusters, positions
+
+
+def _head_of(cluster: list[int]) -> int:
+    """The cluster's gateway tile: its first (corner) member."""
+    return cluster[0]
+
+
+def _clustered_placement(
+    clusters: list[list[int]], cluster_side: int
+) -> tuple[int, tuple[int, ...], dict[int, tuple[int, ...]], int, int]:
+    """Shared placement logic for the three clustered architectures.
+
+    Returns (collector, sensor_tiles, aggregation, intra_ttl, backbone_ttl).
+    The collector sits mid-cluster-0; every cluster's remaining tiles are
+    sensors aggregated at that cluster's head.
+    """
+    heads = [_head_of(cluster) for cluster in clusters]
+    collector = clusters[0][len(clusters[0]) // 2]
+    aggregation: dict[int, tuple[int, ...]] = {}
+    sensors: list[int] = []
+    for cluster, head in zip(clusters, heads):
+        members = tuple(
+            t for t in cluster if t != head and t != collector
+        )
+        aggregation[head] = members
+        sensors.extend(members)
+    # Twice the corner-to-corner walk plus slack: Monte-Carlo calibration
+    # (tests/test_diversity.py) puts corner-to-corner delivery failure at
+    # p = 0.5 below 0.25% with this margin; tighter TTLs lose the odd
+    # frame and abort whole runs.
+    intra_ttl = 4 * (cluster_side - 1) + 6
+    # Head -> ring/hub -> head -> collector plus gossip slack.  Kept tight:
+    # a delivered partial keeps gossiping until its TTL dies, so backbone
+    # TTL directly prices the architecture's message overhead.
+    backbone_ttl = 2 * intra_ttl
+    return collector, tuple(sensors), aggregation, intra_ttl, backbone_ttl
+
+
+class FlatNoc(Architecture):
+    """One `side` x `side` mesh — the homogeneous baseline."""
+
+    def __init__(self, side: int = 6) -> None:
+        if side < 2:
+            raise ValueError(f"side must be >= 2, got {side}")
+        self.side = side
+
+    def build(self) -> ArchitectureSpec:
+        topology = Mesh2D(self.side)
+        n = topology.n_tiles
+        center = topology.tile_at(self.side // 2, self.side // 2)
+        sensors = tuple(t for t in range(n) if t != center)
+        return ArchitectureSpec(
+            name="flat NoC",
+            topology=topology,
+            sensor_tiles=sensors,
+            collector_tile=center,
+        )
+
+
+class HierarchicalNoc(Architecture):
+    """Four mesh clusters; heads linked in a ring backbone (Fig 5-2 left)."""
+
+    def __init__(self, cluster_side: int = 3) -> None:
+        if cluster_side < 2:
+            raise ValueError(f"cluster_side must be >= 2, got {cluster_side}")
+        self.cluster_side = cluster_side
+
+    def build(self) -> ArchitectureSpec:
+        adjacency, clusters, positions = _cluster_meshes(self.cluster_side)
+        heads = [_head_of(cluster) for cluster in clusters]
+        # Ring backbone over the four heads.
+        for index, head in enumerate(heads):
+            forward = heads[(index + 1) % 4]
+            backward = heads[(index - 1) % 4]
+            for other in (forward, backward):
+                if other not in adjacency[head]:
+                    adjacency[head].append(other)
+        topology = CustomTopology(
+            {k: tuple(v) for k, v in adjacency.items()}, positions
+        )
+        collector, sensors, aggregation, intra_ttl, backbone_ttl = (
+            _clustered_placement(clusters, self.cluster_side)
+        )
+        return ArchitectureSpec(
+            name="hierarchical NoC",
+            topology=topology,
+            sensor_tiles=sensors,
+            collector_tile=collector,
+            aggregation=aggregation,
+            intra_ttl=intra_ttl,
+            backbone_ttl=backbone_ttl,
+        )
+
+
+class BusConnectedNocs(Architecture):
+    """Four clusters bridged by a shared bus (Fig 5-2 middle).
+
+    The bus is one bridge tile connected to every cluster head.  Its links
+    carry bus-grade delay and energy, and the bridge may issue only
+    `bus_grants_per_round` transmissions per round — the arbitration
+    bottleneck a real shared medium imposes.
+    """
+
+    def __init__(
+        self,
+        cluster_side: int = 3,
+        bus_delay_rounds: int = 3,
+        bus_energy_per_bit_j: float = 21.6e-10,
+        bus_grants_per_round: int = 2,
+    ) -> None:
+        if cluster_side < 2:
+            raise ValueError(f"cluster_side must be >= 2, got {cluster_side}")
+        if bus_delay_rounds < 1:
+            raise ValueError("bus_delay_rounds must be >= 1")
+        if bus_grants_per_round < 1:
+            raise ValueError("bus_grants_per_round must be >= 1")
+        self.cluster_side = cluster_side
+        self.bus_delay_rounds = bus_delay_rounds
+        self.bus_energy_per_bit_j = bus_energy_per_bit_j
+        self.bus_grants_per_round = bus_grants_per_round
+
+    def build(self) -> ArchitectureSpec:
+        adjacency, clusters, positions = _cluster_meshes(self.cluster_side)
+        heads = [_head_of(cluster) for cluster in clusters]
+        bridge = len(adjacency)
+        adjacency[bridge] = []
+        positions[bridge] = (5.0, 5.0)
+        link_delays: dict[tuple[int, int], int] = {}
+        link_energy: dict[tuple[int, int], float] = {}
+        for head in heads:
+            adjacency[head].append(bridge)
+            adjacency[bridge].append(head)
+            for link in ((head, bridge), (bridge, head)):
+                link_delays[link] = self.bus_delay_rounds
+                link_energy[link] = self.bus_energy_per_bit_j
+        topology = CustomTopology(
+            {k: tuple(v) for k, v in adjacency.items()}, positions
+        )
+        collector, sensors, aggregation, intra_ttl, backbone_ttl = (
+            _clustered_placement(clusters, self.cluster_side)
+        )
+        return ArchitectureSpec(
+            name="bus-connected NoCs",
+            topology=topology,
+            link_delays=link_delays,
+            link_energy_overrides=link_energy,
+            egress_limits={bridge: self.bus_grants_per_round},
+            bus_tiles=frozenset({bridge}),
+            sensor_tiles=sensors,
+            collector_tile=collector,
+            aggregation=aggregation,
+            intra_ttl=intra_ttl,
+            # Generous: TTLs tick while a partial queues at the bridge, so
+            # the bus architecture pays for its serialisation in TTL too.
+            backbone_ttl=2 * backbone_ttl + 8 * self.bus_delay_rounds,
+        )
+
+
+class CentralRouter(Architecture):
+    """Four clusters around one full-speed crossbar tile (Fig 5-2 right)."""
+
+    def __init__(self, cluster_side: int = 3) -> None:
+        if cluster_side < 2:
+            raise ValueError(f"cluster_side must be >= 2, got {cluster_side}")
+        self.cluster_side = cluster_side
+
+    def build(self) -> ArchitectureSpec:
+        adjacency, clusters, positions = _cluster_meshes(self.cluster_side)
+        heads = [_head_of(cluster) for cluster in clusters]
+        router = len(adjacency)
+        adjacency[router] = []
+        positions[router] = (5.0, 5.0)
+        for head in heads:
+            adjacency[head].append(router)
+            adjacency[router].append(head)
+        topology = CustomTopology(
+            {k: tuple(v) for k, v in adjacency.items()}, positions
+        )
+        collector, sensors, aggregation, intra_ttl, backbone_ttl = (
+            _clustered_placement(clusters, self.cluster_side)
+        )
+        return ArchitectureSpec(
+            name="central router",
+            topology=topology,
+            sensor_tiles=sensors,
+            collector_tile=collector,
+            aggregation=aggregation,
+            intra_ttl=intra_ttl,
+            backbone_ttl=backbone_ttl,
+        )

@@ -1,0 +1,115 @@
+"""Voltage / frequency islands (thesis Ch. 5, after Lackey et al.).
+
+An island groups tiles sharing a supply voltage and clock.  Scaling a
+supply by *v* scales dynamic energy by ``v^2`` and (to first order in the
+near-linear regime) frequency by *v*; the plan turns per-island choices
+into the per-tile round periods and per-link energy figures the NoC engine
+consumes.  This is the "combination of different architectural styles"
+dimension of on-chip diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Island:
+    """One voltage/frequency island.
+
+    Attributes:
+        name: label for reports.
+        tiles: member tile ids.
+        voltage_scale: supply relative to nominal (1.0 = nominal).
+        technology: free-form tag ("cmos", "nano", "mems") — diversity
+            bookkeeping; nano islands typically pair a low voltage_scale
+            with a density advantage that is outside this model's scope.
+    """
+
+    name: str
+    tiles: frozenset[int]
+    voltage_scale: float = 1.0
+    technology: str = "cmos"
+
+    def __post_init__(self) -> None:
+        if not self.tiles:
+            raise ValueError(f"island {self.name!r} has no tiles")
+        if not 0.1 <= self.voltage_scale <= 2.0:
+            raise ValueError(
+                f"voltage_scale must be in [0.1, 2.0], got {self.voltage_scale}"
+            )
+
+    @property
+    def frequency_scale(self) -> float:
+        """First-order alpha-power model: f ~ V."""
+        return self.voltage_scale
+
+    @property
+    def energy_scale(self) -> float:
+        """Dynamic energy ~ V^2."""
+        return self.voltage_scale**2
+
+
+@dataclass
+class IslandPlan:
+    """A partition of the chip's tiles into islands.
+
+    Attributes:
+        islands: the partition (tiles must not overlap).
+    """
+
+    islands: list[Island] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for island in self.islands:
+            overlap = seen & island.tiles
+            if overlap:
+                raise ValueError(
+                    f"tiles {sorted(overlap)} appear in multiple islands"
+                )
+            seen |= island.tiles
+
+    def island_of(self, tile_id: int) -> Island | None:
+        for island in self.islands:
+            if tile_id in island.tiles:
+                return island
+        return None
+
+    def tile_frequency_scale(self, tile_id: int) -> float:
+        island = self.island_of(tile_id)
+        return island.frequency_scale if island else 1.0
+
+    def tile_energy_scale(self, tile_id: int) -> float:
+        island = self.island_of(tile_id)
+        return island.energy_scale if island else 1.0
+
+    def link_energy_overrides(
+        self, links: list[tuple[int, int]], base_energy_per_bit_j: float
+    ) -> dict[tuple[int, int], float]:
+        """Per-link energy map: a link is driven by its *source* island."""
+        overrides = {}
+        for src, dst in links:
+            scale = self.tile_energy_scale(src)
+            if scale != 1.0:
+                overrides[(src, dst)] = base_energy_per_bit_j * scale
+        return overrides
+
+    def link_delay_overrides(
+        self, links: list[tuple[int, int]]
+    ) -> dict[tuple[int, int], int]:
+        """Per-link delays: crossing into a slower island costs rounds.
+
+        A transfer is paced by the slower endpoint; the extra rounds are
+        the ceil of the slowdown factor relative to nominal.
+        """
+        delays = {}
+        for src, dst in links:
+            slower = min(
+                self.tile_frequency_scale(src), self.tile_frequency_scale(dst)
+            )
+            if slower < 1.0:
+                delay = max(1, round(1.0 / slower))
+                if delay > 1:
+                    delays[(src, dst)] = int(delay)
+        return delays

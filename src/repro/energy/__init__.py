@@ -1,0 +1,25 @@
+"""Performance and energy metrics (thesis §3.3, §4.1.4).
+
+Implements Eq. 2 (the optimal gossip-round duration T_R), Eq. 3 (the
+communication energy ``E = N_packets * S * E_bit``), the energy x delay
+figure of merit, and the 0.25 µm technology constants used for the bus
+comparison of Fig 4-6.
+"""
+
+from repro.energy.model import (
+    TECH_025UM,
+    EnergyBreakdown,
+    TechnologyLibrary,
+    communication_energy_j,
+    energy_delay_product,
+    round_duration_s,
+)
+
+__all__ = [
+    "TechnologyLibrary",
+    "TECH_025UM",
+    "EnergyBreakdown",
+    "communication_energy_j",
+    "energy_delay_product",
+    "round_duration_s",
+]

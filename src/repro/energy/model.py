@@ -1,0 +1,124 @@
+"""Timing and energy equations of thesis §3.3 and the §4.1.4 constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyLibrary:
+    """Per-technology electrical constants.
+
+    The thesis characterises a 0.25 µm implementation where tile-to-tile
+    links run at 381 MHz dissipating 2.4e-10 J/bit while the chip-length
+    shared bus manages 43 MHz at 21.6e-10 J/bit (§4.1.4) — the link wins on
+    both axes because it is physically short.
+
+    Attributes:
+        name: label for reports.
+        link_frequency_hz / link_energy_per_bit_j: tile-to-tile link.
+        bus_frequency_hz / bus_energy_per_bit_j: chip-spanning shared bus.
+    """
+
+    name: str
+    link_frequency_hz: float
+    link_energy_per_bit_j: float
+    bus_frequency_hz: float
+    bus_energy_per_bit_j: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "link_frequency_hz",
+            "link_energy_per_bit_j",
+            "bus_frequency_hz",
+            "bus_energy_per_bit_j",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be > 0")
+
+
+#: The 0.25 µm process of thesis §4.1.4 (M320C50 DSP tiles).
+TECH_025UM = TechnologyLibrary(
+    name="0.25um",
+    link_frequency_hz=381e6,
+    link_energy_per_bit_j=2.4e-10,
+    bus_frequency_hz=43e6,
+    bus_energy_per_bit_j=21.6e-10,
+)
+
+
+def round_duration_s(
+    packets_per_round: float,
+    packet_size_bits: float,
+    link_frequency_hz: float,
+) -> float:
+    """Eq. 2: ``T_R = N_packets/round * S / f``.
+
+    The round must be long enough for a link to serialise the average
+    per-round traffic; `packets_per_round` is application-dependent.
+
+    >>> round_duration_s(1, 381, 381e6)
+    1e-06
+    """
+    if packets_per_round <= 0:
+        raise ValueError(
+            f"packets_per_round must be > 0, got {packets_per_round}"
+        )
+    if packet_size_bits <= 0:
+        raise ValueError(f"packet_size_bits must be > 0, got {packet_size_bits}")
+    if link_frequency_hz <= 0:
+        raise ValueError(f"link_frequency_hz must be > 0, got {link_frequency_hz}")
+    return packets_per_round * packet_size_bits / link_frequency_hz
+
+
+def communication_energy_j(
+    n_packets: float,
+    packet_size_bits: float,
+    energy_per_bit_j: float,
+) -> float:
+    """Eq. 3 (communication term): ``E = N_packets * S * E_bit``.
+
+    >>> communication_energy_j(10, 100, 2.4e-10)
+    2.4e-07
+    """
+    if n_packets < 0:
+        raise ValueError(f"n_packets must be >= 0, got {n_packets}")
+    if packet_size_bits <= 0:
+        raise ValueError(f"packet_size_bits must be > 0, got {packet_size_bits}")
+    if energy_per_bit_j < 0:
+        raise ValueError(f"energy_per_bit_j must be >= 0, got {energy_per_bit_j}")
+    return n_packets * packet_size_bits * energy_per_bit_j
+
+
+def energy_delay_product(energy_j: float, delay_s: float) -> float:
+    """The Fig 4-6 figure of merit, J*s (per-bit when energy is per-bit)."""
+    if energy_j < 0 or delay_s < 0:
+        raise ValueError("energy and delay must be >= 0")
+    return energy_j * delay_s
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Total chip energy per Eq. 3: computation + communication.
+
+    The thesis sets the computation term aside (it is identical across
+    communication schemes); carrying it explicitly keeps the bookkeeping
+    honest when apps do report compute estimates.
+    """
+
+    computation_j: float
+    communication_j: float
+
+    def __post_init__(self) -> None:
+        if self.computation_j < 0 or self.communication_j < 0:
+            raise ValueError("energy terms must be >= 0")
+
+    @property
+    def total_j(self) -> float:
+        return self.computation_j + self.communication_j
+
+    @property
+    def communication_fraction(self) -> float:
+        if self.total_j == 0:
+            return 0.0
+        return self.communication_j / self.total_j

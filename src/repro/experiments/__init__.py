@@ -1,0 +1,42 @@
+"""Experiment harnesses — one module per thesis figure.
+
+Every module exposes a ``run(...)`` returning plain dataclasses/dicts with
+the same series the thesis plots; the benchmarks in ``benchmarks/`` time
+these harnesses, and EXPERIMENTS.md records their output against the
+paper's numbers.  Parameters default to fast, CI-friendly sizes; pass
+larger values to approach the thesis' settings.
+"""
+
+from repro.experiments import (
+    fig3_1,
+    fig4_4,
+    fig4_5,
+    fig4_6,
+    fig4_8,
+    fig4_9,
+    fig4_10,
+    fig4_11,
+    fig5_3,
+    grid_spread,
+    islands,
+    link_crashes,
+    plots,
+    report,
+)
+
+__all__ = [
+    "fig3_1",
+    "fig4_4",
+    "fig4_5",
+    "fig4_6",
+    "fig4_8",
+    "fig4_9",
+    "fig4_10",
+    "fig4_11",
+    "fig5_3",
+    "grid_spread",
+    "islands",
+    "link_crashes",
+    "plots",
+    "report",
+]

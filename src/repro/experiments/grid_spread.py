@@ -1,0 +1,146 @@
+"""Gossip saturation on grids vs the complete graph (§3.1's open question).
+
+The classical rumor-spreading analysis (Eq. 1, S_n = log2 n + ln n) holds
+on the complete graph; the thesis' experiments are "the first evidence
+that gossip protocols can be applied" to grid-based NoCs, but the theory
+there is left open.  This harness measures broadcast-saturation rounds on
+meshes, tori and the complete graph at matched node counts — quantifying
+how much the grid's constrained connectivity costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.packet import BROADCAST
+from repro.core.protocol import StochasticProtocol
+from repro.noc.engine import NocSimulator
+from repro.noc.tile import IPCore, TileContext
+from repro.noc.topology import FullyConnected, Mesh2D, Topology, Torus2D
+
+
+class _BroadcastSeed(IPCore):
+    """Emits a single broadcast packet at round 0."""
+
+    def __init__(self, ttl: int) -> None:
+        self.ttl = ttl
+        self.sent = False
+
+    def on_start(self, ctx: TileContext) -> None:
+        ctx.send(BROADCAST, b"rumor", ttl=self.ttl)
+        self.sent = True
+
+    @property
+    def complete(self) -> bool:
+        return self.sent
+
+
+@dataclass(frozen=True)
+class SpreadMeasurement:
+    """Saturation statistics for one topology.
+
+    Attributes:
+        topology_name: label.
+        n_tiles: node count.
+        saturation_rounds_mean / _std: rounds until every tile is informed
+            (over the seeded repetitions; failed runs excluded).
+        completion_rate: fraction of runs that saturated within budget.
+        informed_curve: mean informed-tiles count per round.
+    """
+
+    topology_name: str
+    n_tiles: int
+    saturation_rounds_mean: float
+    saturation_rounds_std: float
+    completion_rate: float
+    informed_curve: list[float]
+
+
+def measure_spread(
+    topology: Topology,
+    forward_probability: float = 0.5,
+    origin: int = 0,
+    repetitions: int = 5,
+    seed: int = 0,
+    max_rounds: int = 200,
+    name: str | None = None,
+) -> SpreadMeasurement:
+    """Broadcast from `origin` and measure rounds to full saturation."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    n = topology.n_tiles
+    saturation_rounds = []
+    curves = []
+    completions = 0
+    for rep in range(repetitions):
+        simulator = NocSimulator(
+            topology,
+            StochasticProtocol(forward_probability),
+            seed=seed + rep,
+            default_ttl=max_rounds,
+        )
+        simulator.mount(origin, _BroadcastSeed(ttl=max_rounds))
+        result = simulator.run(
+            max_rounds,
+            until=lambda sim: len(sim.informed_tiles()) == n,
+        )
+        curve = np.ones(result.rounds + 1)
+        informed = 1
+        for round_index in range(result.rounds + 1):
+            informed += result.stats.per_round_informed.get(round_index, 0)
+            curve[round_index] = informed
+        curves.append(curve)
+        if result.completed:
+            completions += 1
+            saturation_rounds.append(result.rounds)
+    horizon = max(len(c) for c in curves)
+    mean_curve = [
+        float(
+            np.mean([c[t] if t < len(c) else c[-1] for c in curves])
+        )
+        for t in range(horizon)
+    ]
+    pool = saturation_rounds if saturation_rounds else [float(max_rounds)]
+    return SpreadMeasurement(
+        topology_name=name or repr(topology),
+        n_tiles=n,
+        saturation_rounds_mean=float(np.mean(pool)),
+        saturation_rounds_std=float(np.std(pool)),
+        completion_rate=completions / repetitions,
+        informed_curve=mean_curve,
+    )
+
+
+def run(
+    side: int = 5,
+    forward_probability: float = 0.5,
+    repetitions: int = 5,
+    seed: int = 0,
+) -> list[SpreadMeasurement]:
+    """Compare mesh / torus / complete-graph saturation at n = side^2."""
+    n = side * side
+    return [
+        measure_spread(
+            FullyConnected(n),
+            forward_probability,
+            repetitions=repetitions,
+            seed=seed,
+            name="fully connected",
+        ),
+        measure_spread(
+            Torus2D(side, side),
+            forward_probability,
+            repetitions=repetitions,
+            seed=seed,
+            name="torus",
+        ),
+        measure_spread(
+            Mesh2D(side, side),
+            forward_probability,
+            repetitions=repetitions,
+            seed=seed,
+            name="mesh",
+        ),
+    ]

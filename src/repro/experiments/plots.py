@@ -1,0 +1,104 @@
+"""Terminal-friendly ASCII charts for experiment series.
+
+The reproduction runs in environments without plotting stacks; these
+renderers make the figure shapes visible in a terminal or a CI log —
+bar charts for categorical comparisons (Fig 4-6, Fig 5-3) and line/
+scatter grids for sweeps (Fig 3-1, Fig 4-9).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a | ##   1
+    b | #### 2
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels vs {len(values)} values"
+        )
+    if not labels:
+        raise ValueError("nothing to plot")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if any(value < 0 for value in values):
+        raise ValueError("bar charts need non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(round(value / peak * width), 1 if value > 0 else 0)
+        lines.append(
+            f"{label:<{label_width}} | {bar:<{width}} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 15,
+    title: str | None = None,
+) -> str:
+    """Scatter/line rendering of one series on a character grid.
+
+    Points are marked with ``*``; axes carry the data extents.  Intended
+    for shape inspection (is it linear? where is the knee?), not for
+    reading off values.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"{len(xs)} xs vs {len(ys)} ys")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = round((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+        grid[row][column] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:g}".rjust(10))
+    for row in grid:
+        lines.append("    |" + "".join(row))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {x_lo:g}".ljust(10) + f"{x_hi:g}".rjust(width - 5))
+    lines.append(f"{y_lo:g}".rjust(10) + " (y range)")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend rendering using block glyphs.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    glyphs = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        glyphs[min(int((value - lo) / span * len(glyphs)), len(glyphs) - 1)]
+        for value in values
+    )

@@ -1,0 +1,99 @@
+"""Tabulation helpers for experiment results.
+
+Every experiment harness returns lists of small frozen dataclasses; these
+helpers turn them into CSV files or markdown tables so results can be
+committed next to EXPERIMENTS.md or pasted into issues without ad-hoc
+formatting code in every script.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from typing import Iterable, Sequence
+
+
+def _as_rows(records: Sequence) -> tuple[list[str], list[list]]:
+    """Normalise a sequence of dataclass instances to header + rows."""
+    records = list(records)
+    if not records:
+        raise ValueError("no records to tabulate")
+    first = records[0]
+    if not dataclasses.is_dataclass(first):
+        raise TypeError(f"expected dataclass records, got {type(first)!r}")
+    fields = [f.name for f in dataclasses.fields(first)]
+    rows = []
+    for record in records:
+        if type(record) is not type(first):
+            raise TypeError(
+                f"mixed record types: {type(first).__name__} and "
+                f"{type(record).__name__}"
+            )
+        values = dataclasses.asdict(record)
+        rows.append([values[name] for name in fields])
+    return fields, rows
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple, dict)):
+        return repr(value)
+    return str(value)
+
+
+def to_csv(records: Sequence, path: str | None = None) -> str:
+    """Render records as CSV; optionally also write them to `path`.
+
+    Returns the CSV text either way.
+    """
+    fields, rows = _as_rows(records)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(fields)
+    for row in rows:
+        writer.writerow([_format_cell(value) for value in row])
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def to_markdown(
+    records: Sequence,
+    columns: Iterable[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render records as a GitHub-flavoured markdown table.
+
+    Args:
+        records: dataclass instances of one type.
+        columns: subset/ordering of fields; defaults to all fields.
+        title: optional bolded caption line above the table.
+    """
+    fields, rows = _as_rows(records)
+    if columns is not None:
+        columns = list(columns)
+        unknown = [c for c in columns if c not in fields]
+        if unknown:
+            raise ValueError(f"unknown columns: {unknown}")
+        indices = [fields.index(c) for c in columns]
+        fields = columns
+        rows = [[row[i] for i in indices] for row in rows]
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(fields) + " |")
+    lines.append("|" + "|".join("---" for _ in fields) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_cell(value) for value in row) + " |"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,38 @@
+"""The NoC failure model of thesis Chapter 2.
+
+The model is parameterised by five quantities:
+
+* ``p_tile`` / ``p_link`` — probability that a tile / link suffers a crash
+  (permanent) failure;
+* ``p_upset`` — probability that a packet is scrambled by a data upset while
+  traversing a link;
+* ``p_overflow`` — probability that a packet is dropped because a finite
+  input buffer overflows;
+* ``sigma_synchr`` — standard deviation of the gossip-round duration,
+  capturing synchronization errors between per-tile clock domains.
+
+Two bit-level corruption models are provided (thesis §2): the *random error
+vector* model (all non-null n-bit error vectors equally likely) and the
+*random bit error* model (i.i.d. bit flips).
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.errors import (
+    ErrorModel,
+    RandomBitError,
+    RandomErrorVector,
+    bit_error_probability,
+    error_vector_probability,
+)
+from repro.faults.injector import CrashPlan, FaultInjector
+
+__all__ = [
+    "FaultConfig",
+    "ErrorModel",
+    "RandomBitError",
+    "RandomErrorVector",
+    "bit_error_probability",
+    "error_vector_probability",
+    "CrashPlan",
+    "FaultInjector",
+]

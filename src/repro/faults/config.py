@@ -1,0 +1,81 @@
+"""The five-parameter stochastic failure configuration (thesis Ch. 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Stochastic failure parameters for a NoC simulation.
+
+    Attributes:
+        p_tile: probability that any given tile is crashed (dead IP + router).
+            Crashed tiles neither forward nor originate packets; this models
+            manufacturing defects or field crash failures.
+        p_link: probability that any given directed link is crashed.  Packets
+            sent over a dead link vanish.
+        p_upset: probability that a packet traversing a *live* link is
+            scrambled by a data upset (crosstalk, particle strike).  The
+            scrambled bits are drawn from `error_model`; detection is the
+            receiving tile's CRC's job, not the injector's.
+        p_overflow: probability that an arriving packet finds its input
+            buffer full and is dropped (oldest-first policy per §4.2).
+            When the simulator models buffers explicitly this is ignored in
+            favour of actual occupancy; the probabilistic form supports the
+            closed-form sweeps of Fig 4-10/4-11.
+        sigma_synchr: standard deviation of the per-tile round duration,
+            expressed as a fraction of the nominal round period T_R.
+            Captures mixed-clock synchronization errors (GALS interfaces).
+        error_model: ``"vector"`` for the random-error-vector model or
+            ``"bit"`` for the random-bit-error model (§2).
+    """
+
+    p_tile: float = 0.0
+    p_link: float = 0.0
+    p_upset: float = 0.0
+    p_overflow: float = 0.0
+    sigma_synchr: float = 0.0
+    error_model: str = "vector"
+
+    def __post_init__(self) -> None:
+        _check_probability("p_tile", self.p_tile)
+        _check_probability("p_link", self.p_link)
+        _check_probability("p_upset", self.p_upset)
+        _check_probability("p_overflow", self.p_overflow)
+        if self.sigma_synchr < 0.0:
+            raise ValueError(
+                f"sigma_synchr must be non-negative, got {self.sigma_synchr}"
+            )
+        if self.error_model not in ("vector", "bit"):
+            raise ValueError(
+                f"error_model must be 'vector' or 'bit', got {self.error_model!r}"
+            )
+
+    @classmethod
+    def fault_free(cls) -> "FaultConfig":
+        """A configuration with every failure mode disabled."""
+        return cls()
+
+    def with_(self, **overrides: object) -> "FaultConfig":
+        """Return a copy with the given fields replaced.
+
+        >>> FaultConfig().with_(p_upset=0.3).p_upset
+        0.3
+        """
+        return replace(self, **overrides)
+
+    @property
+    def is_fault_free(self) -> bool:
+        return (
+            self.p_tile == 0.0
+            and self.p_link == 0.0
+            and self.p_upset == 0.0
+            and self.p_overflow == 0.0
+            and self.sigma_synchr == 0.0
+        )

@@ -1,0 +1,57 @@
+"""A simplified perceptual audio encoder (the thesis' MP3 workload).
+
+The thesis parallelised the LAME MP3 encoder over a NoC (Fig 4-7) and
+measured how the encoding latency and output bit-rate degrade under on-chip
+failures.  LAME itself is out of scope (and unnecessary): what the
+experiments exercise is a 5-stage perceptual coding pipeline with real
+signal-processing maths and a measurable output bitstream.  This package
+implements exactly that, from scratch:
+
+* :mod:`pcm` — synthetic PCM acquisition (tones, chirps, noise mixes);
+* :mod:`mdct` — windowed MDCT / IMDCT with perfect TDAC reconstruction;
+* :mod:`psychoacoustic` — bark-band masking model producing per-band SMRs;
+* :mod:`quantizer` — the iterative rate loop (power-law quantization,
+  global gain search, per-band scalefactors);
+* :mod:`huffman` — canonical Huffman coding of quantized spectra;
+* :mod:`bitreservoir` — inter-frame bit borrowing;
+* :mod:`encoder` / :mod:`decoder` — the serial reference codec;
+* :mod:`parallel` — the Fig 4-7 mapping of the five stages onto NoC tiles.
+"""
+
+from repro.mp3.pcm import PcmSource, frames_from_signal, synthesize_signal
+from repro.mp3.mdct import Mdct
+from repro.mp3.blockswitch import (
+    SwitchedMdct,
+    TransientDetector,
+    WindowType,
+)
+from repro.mp3.psychoacoustic import PsychoacousticModel, PsychoResult
+from repro.mp3.quantizer import QuantizedGranule, RateLoopQuantizer
+from repro.mp3.huffman import HuffmanCodec, SPECTRUM_CODEC
+from repro.mp3.bitreservoir import BitReservoir
+from repro.mp3.encoder import EncodedFrame, Mp3Encoder
+from repro.mp3.decoder import Mp3Decoder, reconstruction_snr_db
+from repro.mp3.parallel import ParallelMp3App, Mp3PipelineReport
+
+__all__ = [
+    "PcmSource",
+    "synthesize_signal",
+    "frames_from_signal",
+    "Mdct",
+    "SwitchedMdct",
+    "TransientDetector",
+    "WindowType",
+    "PsychoacousticModel",
+    "PsychoResult",
+    "RateLoopQuantizer",
+    "QuantizedGranule",
+    "HuffmanCodec",
+    "SPECTRUM_CODEC",
+    "BitReservoir",
+    "Mp3Encoder",
+    "EncodedFrame",
+    "Mp3Decoder",
+    "reconstruction_snr_db",
+    "ParallelMp3App",
+    "Mp3PipelineReport",
+]

@@ -1,0 +1,87 @@
+"""The bit reservoir (Fig 4-7's Bit Reservoir stage).
+
+MP3 frames have a fixed nominal size at a given bit-rate, but granules vary
+in how many bits they *need*; the reservoir lets an easy granule donate its
+surplus to a later hard one, within a bounded pool.  This smooths quality
+at constant output bit-rate — exactly the property the thesis' bit-rate
+experiments (Fig 4-11) monitor under failures.
+"""
+
+from __future__ import annotations
+
+from repro.mp3.pcm import GRANULE, SAMPLE_RATE_HZ
+
+
+class BitReservoir:
+    """Bounded pool of unused frame bits.
+
+    Args:
+        bitrate_bps: target output bit-rate.
+        granule: samples per frame (sets the nominal frame size).
+        sample_rate_hz: PCM sample rate.
+        max_reservoir_bits: pool cap (MP3 caps at 511 bytes; default
+            mirrors that order of magnitude relative to the frame size).
+    """
+
+    def __init__(
+        self,
+        bitrate_bps: int = 128_000,
+        granule: int = GRANULE,
+        sample_rate_hz: float = SAMPLE_RATE_HZ,
+        max_reservoir_bits: int | None = None,
+    ) -> None:
+        if bitrate_bps <= 0:
+            raise ValueError(f"bitrate must be > 0, got {bitrate_bps}")
+        if granule < 1:
+            raise ValueError(f"granule must be >= 1, got {granule}")
+        self.bitrate_bps = bitrate_bps
+        self.granule = granule
+        self.sample_rate_hz = sample_rate_hz
+        self.frame_bits = int(bitrate_bps * granule / sample_rate_hz)
+        self.max_reservoir_bits = (
+            max_reservoir_bits
+            if max_reservoir_bits is not None
+            else 3 * self.frame_bits
+        )
+        if self.max_reservoir_bits < 0:
+            raise ValueError("max_reservoir_bits must be >= 0")
+        self._level = 0
+
+    @property
+    def level(self) -> int:
+        """Bits currently banked."""
+        return self._level
+
+    def budget_for_next_granule(self, side_info_bits: int = 0) -> int:
+        """Bits the rate loop may spend: nominal frame + full reservoir.
+
+        The granule is *allowed* to dip into everything banked; whatever it
+        leaves unused is re-banked in :meth:`commit`.
+        """
+        if side_info_bits < 0:
+            raise ValueError("side_info_bits must be >= 0")
+        return max(self.frame_bits - side_info_bits + self._level, 0)
+
+    def commit(self, bits_spent: int, side_info_bits: int = 0) -> int:
+        """Record a granule's actual spend; returns the new level.
+
+        Raises:
+            ValueError: if the granule overspent its granted budget.
+        """
+        if bits_spent < 0:
+            raise ValueError("bits_spent must be >= 0")
+        granted = self.budget_for_next_granule(side_info_bits)
+        if bits_spent > granted:
+            raise ValueError(
+                f"granule spent {bits_spent} bits but only {granted} granted"
+            )
+        total_frame_spend = bits_spent + side_info_bits
+        self._level = min(
+            self._level + self.frame_bits - total_frame_spend,
+            self.max_reservoir_bits,
+        )
+        self._level = max(self._level, 0)
+        return self._level
+
+    def reset(self) -> None:
+        self._level = 0

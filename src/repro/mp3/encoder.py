@@ -1,0 +1,232 @@
+"""The serial reference encoder: the five Fig 4-7 stages in one pipeline.
+
+``PcmSource -> PsychoacousticModel -> Mdct -> RateLoopQuantizer (+Huffman)
+-> BitReservoir -> framed bitstream``.  The parallel NoC version
+(:mod:`repro.mp3.parallel`) reuses these exact stage objects inside IP
+cores, so serial-vs-parallel outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mp3.bitreservoir import BitReservoir
+from repro.mp3.blockswitch import SwitchedMdct, TransientDetector, WindowType
+from repro.mp3.huffman import SPECTRUM_CODEC, HuffmanCodec
+from repro.mp3.mdct import Mdct
+from repro.mp3.pcm import GRANULE, SAMPLE_RATE_HZ, PcmSource
+from repro.mp3.psychoacoustic import PsychoacousticModel
+from repro.mp3.quantizer import QuantizedGranule, RateLoopQuantizer
+
+#: Frame header: sync, frame index, global gain, n bands, n values,
+#: payload bit length, window type code.
+_FRAME_HEADER = struct.Struct(">HiihHiB")
+_SYNC = 0xFFFB  # MPEG-like sync word
+
+#: WindowType <-> wire code (order is stable serialization ABI).
+_WINDOW_CODES = {
+    WindowType.LONG: 0,
+    WindowType.START: 1,
+    WindowType.SHORT: 2,
+    WindowType.STOP: 3,
+}
+_WINDOW_FROM_CODE = {code: wt for wt, code in _WINDOW_CODES.items()}
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """One encoded granule of the bitstream.
+
+    Attributes:
+        frame_index: granule number.
+        global_gain / scalefactors: quantizer side info.
+        n_values: spectral lines coded.
+        payload: Huffman bytes.
+        payload_bits: exact coded bit length inside `payload`.
+        window_type: the granule's MDCT block type (LONG unless the
+            encoder ran with block switching).
+    """
+
+    frame_index: int
+    global_gain: int
+    scalefactors: np.ndarray
+    n_values: int
+    payload: bytes
+    payload_bits: int
+    window_type: WindowType = WindowType.LONG
+
+    @property
+    def side_info_bits(self) -> int:
+        return 8 * (_FRAME_HEADER.size + len(self.scalefactors))
+
+    @property
+    def total_bits(self) -> int:
+        """Bits this frame occupies in the bitstream (byte-aligned)."""
+        return 8 * len(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        """Serialise: header + int8 scalefactors + payload."""
+        scalefactor_bytes = (
+            np.clip(self.scalefactors, -128, 127).astype(np.int8).tobytes()
+        )
+        header = _FRAME_HEADER.pack(
+            _SYNC,
+            self.frame_index,
+            self.global_gain,
+            len(self.scalefactors),
+            self.n_values,
+            self.payload_bits,
+            _WINDOW_CODES[self.window_type],
+        )
+        return header + scalefactor_bytes + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EncodedFrame":
+        """Parse one frame; raises ValueError on malformed data."""
+        if len(data) < _FRAME_HEADER.size:
+            raise ValueError("truncated frame header")
+        sync, index, gain, n_bands, n_values, payload_bits, window_code = (
+            _FRAME_HEADER.unpack(data[: _FRAME_HEADER.size])
+        )
+        if sync != _SYNC:
+            raise ValueError(f"bad sync word 0x{sync:04x}")
+        if window_code not in _WINDOW_FROM_CODE:
+            raise ValueError(f"unknown window code {window_code}")
+        offset = _FRAME_HEADER.size
+        if len(data) < offset + n_bands:
+            raise ValueError("truncated scalefactors")
+        scalefactors = np.frombuffer(
+            data[offset : offset + n_bands], dtype=np.int8
+        ).astype(np.int64)
+        payload_bytes = -(-payload_bits // 8)
+        payload = data[offset + n_bands : offset + n_bands + payload_bytes]
+        if 8 * len(payload) < payload_bits:
+            raise ValueError("truncated Huffman payload")
+        return cls(
+            frame_index=index,
+            global_gain=gain,
+            scalefactors=scalefactors,
+            n_values=n_values,
+            payload=payload,
+            payload_bits=payload_bits,
+            window_type=_WINDOW_FROM_CODE[window_code],
+        )
+
+
+class Mp3Encoder:
+    """The serial perceptual encoder.
+
+    Args:
+        bitrate_bps: target output bit-rate (drives the reservoir budget;
+            ignored in VBR mode).
+        granule: samples per frame.
+        sample_rate_hz: PCM rate.
+        codec: Huffman codec shared with the rate loop.
+        mode: ``"cbr"`` (constant bit-rate via reservoir-budgeted rate
+            loop — the thesis' configuration) or ``"vbr"`` (quality-
+            targeted: each granule spends whatever "just transparent"
+            coding costs, so bits follow content).
+        block_switching: when True, a transient detector plans MPEG-style
+            long/start/short/stop windows per granule (pre-echo control;
+            requires `granule` divisible by 6).  Short granules are
+            quantized against the long-block masking bands — an
+            approximation; real MP3 keeps separate short-block bands.
+    """
+
+    def __init__(
+        self,
+        bitrate_bps: int = 128_000,
+        granule: int = GRANULE,
+        sample_rate_hz: float = SAMPLE_RATE_HZ,
+        codec: HuffmanCodec = SPECTRUM_CODEC,
+        mode: str = "cbr",
+        block_switching: bool = False,
+    ) -> None:
+        if mode not in ("cbr", "vbr"):
+            raise ValueError(f"mode must be 'cbr' or 'vbr', got {mode!r}")
+        if block_switching and granule % 6:
+            raise ValueError(
+                "block switching needs a granule divisible by 6"
+            )
+        self.mode = mode
+        self.block_switching = block_switching
+        self.detector = TransientDetector() if block_switching else None
+        self.granule = granule
+        self.psycho = PsychoacousticModel(granule, sample_rate_hz)
+        self.mdct = SwitchedMdct(granule) if block_switching else Mdct(granule)
+        self.quantizer = RateLoopQuantizer(codec)
+        self.reservoir = BitReservoir(bitrate_bps, granule, sample_rate_hz)
+        self.codec = codec
+        self._frame_index = 0
+
+    def reset(self) -> None:
+        self.mdct.reset()
+        self.reservoir.reset()
+        self._frame_index = 0
+
+    def encode_granule(
+        self,
+        samples: np.ndarray,
+        window_type: WindowType = WindowType.LONG,
+    ) -> EncodedFrame:
+        """Push one granule of PCM through all five stages."""
+        analysis = self.psycho.analyze(samples)
+        if self.block_switching:
+            spectrum = self.mdct.analyze(samples, window_type)
+        else:
+            spectrum = self.mdct.analyze(samples)
+        if self.mode == "vbr":
+            quantized: QuantizedGranule = self.quantizer.quantize_vbr(
+                spectrum, analysis
+            )
+        else:
+            # Reserve the side info before the spectrum sees the budget.
+            side_info_bits = 8 * (_FRAME_HEADER.size + analysis.n_bands)
+            budget = self.reservoir.budget_for_next_granule(side_info_bits)
+            quantized = self.quantizer.quantize(spectrum, analysis, budget)
+            self.reservoir.commit(quantized.bits_used, side_info_bits)
+        payload, payload_bits = self.codec.encode(quantized.values)
+        frame = EncodedFrame(
+            frame_index=self._frame_index,
+            global_gain=quantized.global_gain,
+            scalefactors=quantized.scalefactors,
+            n_values=len(quantized.values),
+            payload=payload,
+            payload_bits=payload_bits,
+            window_type=window_type if self.block_switching else WindowType.LONG,
+        )
+        self._frame_index += 1
+        return frame
+
+    def encode(self, source: PcmSource) -> list[EncodedFrame]:
+        """Encode an entire source, in order."""
+        self.reset()
+        if self.block_switching:
+            plan = self.detector.plan(source.all_frames())
+        else:
+            plan = [WindowType.LONG] * source.n_frames
+        return [
+            self.encode_granule(source.frame(index), plan[index])
+            for index in range(source.n_frames)
+        ]
+
+    @staticmethod
+    def bitstream(frames: list[EncodedFrame]) -> bytes:
+        """Concatenate frames into the output bitstream."""
+        return b"".join(frame.to_bytes() for frame in frames)
+
+    @staticmethod
+    def measured_bitrate_bps(
+        frames: list[EncodedFrame],
+        granule: int = GRANULE,
+        sample_rate_hz: float = SAMPLE_RATE_HZ,
+    ) -> float:
+        """Actual output bit-rate over the encoded span (Fig 4-11 metric)."""
+        if not frames:
+            return 0.0
+        total_bits = sum(frame.total_bits for frame in frames)
+        duration_s = len(frames) * granule / sample_rate_hz
+        return total_bits / duration_s

@@ -1,0 +1,232 @@
+"""Canonical Huffman coding of quantized spectra.
+
+The entropy-coding half of the Iterative Encoding stage.  Quantized MDCT
+values are small signed integers with a sharply peaked distribution; a
+static canonical Huffman code over magnitude symbols (with an escape symbol
+for outliers and explicit sign bits) compresses them the way MP3's
+spectrum tables do, and — crucially for the rate loop — lets the quantizer
+*count* the exact bits a candidate quantization would cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Magnitudes 0..14 get dedicated symbols; 15 is the escape.
+ESCAPE = 15
+#: Escape values are coded as ESCAPE + 16-bit remainder.
+ESCAPE_BITS = 16
+_MAX_DIRECT = ESCAPE - 1
+
+
+def _build_code_lengths(frequencies: list[int]) -> list[int]:
+    """Huffman code lengths from symbol frequencies.
+
+    Standard heap construction.  Zero frequencies are clamped to 1 so that
+    *every* symbol receives a valid code (the tree must satisfy the Kraft
+    equality for the canonical assignment to be prefix-free).
+    """
+    n = len(frequencies)
+    heap = [
+        (max(freq, 1), index, (index,))
+        for index, freq in enumerate(frequencies)
+    ]
+    heapq.heapify(heap)
+    lengths = [0] * n
+    if len(heap) == 1:
+        lengths[heap[0][1]] = 1
+        return lengths
+    counter = n
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        for symbol in s1 + s2:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (f1 + f2, counter, s1 + s2))
+        counter += 1
+    return lengths
+
+
+def _canonical_codes(lengths: list[int]) -> list[tuple[int, int]]:
+    """Assign canonical (code, length) pairs from code lengths."""
+    order = sorted(range(len(lengths)), key=lambda s: (lengths[s], s))
+    codes: list[tuple[int, int]] = [(0, 0)] * len(lengths)
+    code = 0
+    previous_length = 0
+    for symbol in order:
+        length = lengths[symbol]
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanCodec:
+    """A canonical Huffman codec over magnitude symbols 0..ESCAPE.
+
+    Encoding of one signed integer value v:
+    * ``|v| <= 14``: symbol ``|v|``, then 1 sign bit when v != 0;
+    * ``|v| >= 15``: the ESCAPE symbol, 16 raw bits of ``|v|``, 1 sign bit.
+    """
+
+    codes: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def from_frequencies(cls, frequencies: list[int]) -> "HuffmanCodec":
+        if len(frequencies) != ESCAPE + 1:
+            raise ValueError(
+                f"need {ESCAPE + 1} symbol frequencies, got {len(frequencies)}"
+            )
+        lengths = _build_code_lengths(list(frequencies))
+        return cls(tuple(_canonical_codes(lengths)))
+
+    # ------------------------------------------------------------- bit costs
+
+    def value_bits(self, value: int) -> int:
+        """Exact bit cost of one signed value."""
+        magnitude = abs(int(value))
+        if magnitude <= _MAX_DIRECT:
+            bits = self.codes[magnitude][1]
+            return bits + (1 if magnitude else 0)
+        if magnitude >= 1 << ESCAPE_BITS:
+            raise ValueError(f"value {value} exceeds the escape range")
+        return self.codes[ESCAPE][1] + ESCAPE_BITS + 1
+
+    def spectrum_bits(self, values: np.ndarray) -> int:
+        """Total bit cost of a quantized spectrum (vectorised)."""
+        magnitudes = np.abs(np.asarray(values, dtype=np.int64))
+        if magnitudes.size == 0:
+            return 0
+        if magnitudes.max(initial=0) >= 1 << ESCAPE_BITS:
+            raise ValueError("spectrum contains values beyond the escape range")
+        direct = magnitudes[magnitudes <= _MAX_DIRECT]
+        escapes = int((magnitudes > _MAX_DIRECT).sum())
+        lengths = np.array([c[1] for c in self.codes])
+        bits = int(lengths[direct].sum())
+        bits += int((direct != 0).sum())  # sign bits for non-zero directs
+        bits += escapes * (self.codes[ESCAPE][1] + ESCAPE_BITS + 1)
+        return bits
+
+    # --------------------------------------------------------- encode/decode
+
+    def encode(self, values: np.ndarray) -> tuple[bytes, int]:
+        """Encode a spectrum; returns (payload, exact bit length)."""
+        out = _BitWriter()
+        for value in np.asarray(values, dtype=np.int64):
+            magnitude = abs(int(value))
+            if magnitude <= _MAX_DIRECT:
+                code, length = self.codes[magnitude]
+                out.write(code, length)
+                if magnitude:
+                    out.write(0 if value > 0 else 1, 1)
+            else:
+                if magnitude >= 1 << ESCAPE_BITS:
+                    raise ValueError(f"value {value} exceeds the escape range")
+                code, length = self.codes[ESCAPE]
+                out.write(code, length)
+                out.write(magnitude, ESCAPE_BITS)
+                out.write(0 if value > 0 else 1, 1)
+        return out.getvalue(), out.bit_length
+
+    def decode(self, payload: bytes, n_values: int, bit_length: int) -> np.ndarray:
+        """Decode `n_values` signed integers from an encoded payload."""
+        reader = _BitReader(payload, bit_length)
+        # Build a (length, code) -> symbol lookup.
+        table = {
+            (length, code): symbol
+            for symbol, (code, length) in enumerate(self.codes)
+        }
+        max_length = max(length for _, length in self.codes)
+        values = np.zeros(n_values, dtype=np.int64)
+        for index in range(n_values):
+            code = 0
+            length = 0
+            symbol = None
+            while length <= max_length:
+                code = (code << 1) | reader.read(1)
+                length += 1
+                symbol = table.get((length, code))
+                if symbol is not None:
+                    break
+            if symbol is None:
+                raise ValueError("corrupt Huffman stream: no symbol matched")
+            if symbol == ESCAPE:
+                magnitude = reader.read(ESCAPE_BITS)
+                sign = reader.read(1)
+                values[index] = -magnitude if sign else magnitude
+            elif symbol == 0:
+                values[index] = 0
+            else:
+                sign = reader.read(1)
+                values[index] = -symbol if sign else symbol
+        return values
+
+
+class _BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._filled = 0
+        self.bit_length = 0
+
+    def write(self, value: int, n_bits: int) -> None:
+        if n_bits < 0 or (n_bits and value >> n_bits):
+            raise ValueError(f"value {value} does not fit in {n_bits} bits")
+        for shift in range(n_bits - 1, -1, -1):
+            self._current = (self._current << 1) | ((value >> shift) & 1)
+            self._filled += 1
+            if self._filled == 8:
+                self._buffer.append(self._current)
+                self._current = 0
+                self._filled = 0
+        self.bit_length += n_bits
+
+    def getvalue(self) -> bytes:
+        if self._filled:
+            return bytes(self._buffer) + bytes(
+                [self._current << (8 - self._filled)]
+            )
+        return bytes(self._buffer)
+
+
+class _BitReader:
+    """MSB-first bit consumer."""
+
+    def __init__(self, payload: bytes, bit_length: int) -> None:
+        if bit_length > 8 * len(payload):
+            raise ValueError("bit_length exceeds payload size")
+        self._payload = payload
+        self._bit_length = bit_length
+        self._position = 0
+
+    def read(self, n_bits: int) -> int:
+        if self._position + n_bits > self._bit_length:
+            raise ValueError("read past end of Huffman stream")
+        value = 0
+        for _ in range(n_bits):
+            byte = self._payload[self._position // 8]
+            bit = (byte >> (7 - self._position % 8)) & 1
+            value = (value << 1) | bit
+            self._position += 1
+        return value
+
+
+def _training_frequencies() -> list[int]:
+    """A geometric magnitude profile typical of rate-loop output."""
+    frequencies = [0] * (ESCAPE + 1)
+    population = 1 << 20
+    for magnitude in range(ESCAPE):
+        frequencies[magnitude] = max(1, int(population * 0.45**magnitude))
+    frequencies[ESCAPE] = max(1, int(population * 0.45**ESCAPE * 4))
+    return frequencies
+
+
+#: The static spectrum codec used by the encoder (MP3-table analogue).
+SPECTRUM_CODEC = HuffmanCodec.from_frequencies(_training_frequencies())

@@ -1,0 +1,277 @@
+"""The iterative rate-loop quantizer (the Iterative Encoding stage).
+
+MP3-style two-loop quantization of one granule of MDCT coefficients:
+
+* **inner (rate) loop** — power-law quantize
+  ``q[k] = round((|x[k]| / 2^(gain/4))^(3/4))`` and binary-search the global
+  gain until the Huffman-coded size fits the frame's bit budget;
+* **outer (distortion) loop** — measure per-band quantization noise against
+  the psychoacoustic model's allowed distortion; amplify the worst
+  violating bands via scalefactors and re-run the rate loop, a bounded
+  number of times.
+
+The result carries everything a decoder needs: gain, scalefactors, the
+quantized integers, and the exact coded bit count (which the bit reservoir
+then accounts for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mp3.huffman import SPECTRUM_CODEC, HuffmanCodec
+from repro.mp3.psychoacoustic import PsychoResult
+
+#: Scalefactor step: each unit scales a band by 2^(1/2) (~3 dB).
+SCALEFACTOR_STEP = 0.5
+#: Hard cap on outer-loop iterations (LAME uses similar guards).
+MAX_OUTER_ITERATIONS = 8
+
+
+@dataclass(frozen=True)
+class QuantizedGranule:
+    """One quantized granule, ready for bitstream packing.
+
+    Attributes:
+        values: quantized integers, one per spectral line.
+        global_gain: the rate loop's step-size exponent.
+        scalefactors: per-band amplification exponents (outer loop).
+        bits_used: exact Huffman bit cost of `values`.
+        band_distortion: linear noise energy per band at the final step.
+        iterations: outer-loop passes executed.
+    """
+
+    values: np.ndarray
+    global_gain: int
+    scalefactors: np.ndarray
+    bits_used: int
+    band_distortion: np.ndarray
+    iterations: int
+
+
+class RateLoopQuantizer:
+    """Quantizes granules against a psychoacoustic analysis and bit budget.
+
+    Args:
+        codec: Huffman codec used for exact bit counting.
+        gain_range: global-gain search interval (quarter-dB-ish steps).
+    """
+
+    def __init__(
+        self,
+        codec: HuffmanCodec = SPECTRUM_CODEC,
+        gain_range: tuple[int, int] = (-120, 120),
+    ) -> None:
+        if gain_range[0] >= gain_range[1]:
+            raise ValueError(f"empty gain range {gain_range}")
+        self.codec = codec
+        self.gain_range = gain_range
+
+    # ------------------------------------------------------------ primitives
+
+    def _band_scale(
+        self, scalefactors: np.ndarray, band_edges: np.ndarray, n: int
+    ) -> np.ndarray:
+        """Expand per-band scalefactors to per-line amplification factors."""
+        scale = np.ones(n)
+        for band, factor in enumerate(scalefactors):
+            lo, hi = band_edges[band], band_edges[band + 1]
+            scale[lo:hi] = 2.0 ** (SCALEFACTOR_STEP * factor)
+        return scale
+
+    def quantize_at(
+        self, spectrum: np.ndarray, gain: int, line_scale: np.ndarray
+    ) -> np.ndarray:
+        """Power-law quantization at a fixed gain (the MP3 x^(3/4) law)."""
+        step = 2.0 ** (gain / 4.0)
+        magnitude = np.abs(spectrum) * line_scale / step
+        quantized = np.floor(magnitude**0.75 + 0.4054).astype(np.int64)
+        return np.sign(spectrum).astype(np.int64) * quantized
+
+    def dequantize(
+        self,
+        values: np.ndarray,
+        gain: int,
+        scalefactors: np.ndarray,
+        band_edges: np.ndarray,
+    ) -> np.ndarray:
+        """Inverse of :meth:`quantize_at` (shared with the decoder)."""
+        values = np.asarray(values, dtype=np.float64)
+        step = 2.0 ** (gain / 4.0)
+        line_scale = self._band_scale(scalefactors, band_edges, len(values))
+        magnitude = np.abs(values) ** (4.0 / 3.0) * step / line_scale
+        return np.sign(values) * magnitude
+
+    # -------------------------------------------------------------- the loops
+
+    def _rate_loop(
+        self, spectrum: np.ndarray, line_scale: np.ndarray, bit_budget: int
+    ) -> tuple[np.ndarray, int, int]:
+        """Binary-search the smallest gain whose coded size fits the budget.
+
+        Smaller gain = finer quantization = more bits; the coded size is
+        monotone non-increasing in the gain, so bisection applies.
+        """
+        lo, hi = self.gain_range
+        best: tuple[np.ndarray, int, int] | None = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            values = self.quantize_at(spectrum, mid, line_scale)
+            if np.abs(values).max(initial=0) >= 1 << 16:
+                lo = mid + 1  # overflow: must coarsen
+                continue
+            bits = self.codec.spectrum_bits(values)
+            if bits <= bit_budget:
+                best = (values, mid, bits)
+                hi = mid - 1  # fits: try finer
+            else:
+                lo = mid + 1
+        if best is None:
+            # Even the coarsest gain overflows the budget; emit silence.
+            n = len(spectrum)
+            return np.zeros(n, dtype=np.int64), self.gain_range[1], 0
+        return best
+
+    def _band_noise(
+        self,
+        spectrum: np.ndarray,
+        reconstructed: np.ndarray,
+        band_edges: np.ndarray,
+    ) -> np.ndarray:
+        error = (spectrum - reconstructed) ** 2
+        return np.array(
+            [
+                error[band_edges[b] : band_edges[b + 1]].sum()
+                for b in range(len(band_edges) - 1)
+            ]
+        )
+
+    def quantize_vbr(
+        self,
+        spectrum: np.ndarray,
+        psycho: PsychoResult,
+        bit_cap: int = 1 << 16,
+    ) -> QuantizedGranule:
+        """Quality-targeted (VBR) quantization of one granule.
+
+        Instead of fitting a bit budget, find the *coarsest* global gain
+        whose per-band quantization noise stays under the masking
+        threshold everywhere — "just transparent" coding.  Bits then vary
+        with content, which is the point of VBR.  Distortion is monotone
+        non-increasing as the gain decreases, so bisection applies.
+
+        Args:
+            spectrum: MDCT coefficients.
+            psycho: the granule's masking analysis.
+            bit_cap: safety cap; the search never returns a granule
+                costing more than this (pathological content guard).
+        """
+        spectrum = np.asarray(spectrum, dtype=np.float64)
+        allowed = psycho.allowed_distortion()
+        band_edges = psycho.band_edges
+        scalefactors = np.zeros(psycho.n_bands, dtype=np.int64)
+        line_scale = np.ones(len(spectrum))
+
+        def evaluate(gain: int) -> tuple[np.ndarray, np.ndarray, int]:
+            values = self.quantize_at(spectrum, gain, line_scale)
+            reconstructed = self.dequantize(
+                values, gain, scalefactors, band_edges
+            )
+            distortion = self._band_noise(spectrum, reconstructed, band_edges)
+            bits = (
+                self.codec.spectrum_bits(values)
+                if np.abs(values).max(initial=0) < 1 << 16
+                else bit_cap + 1
+            )
+            return values, distortion, bits
+
+        lo, hi = self.gain_range
+        best: tuple[np.ndarray, int, int, np.ndarray] | None = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            values, distortion, bits = evaluate(mid)
+            if np.all(distortion <= allowed) and bits <= bit_cap:
+                best = (values, mid, bits, distortion)
+                lo = mid + 1  # transparent: try coarser (fewer bits)
+            else:
+                hi = mid - 1
+        if best is None:
+            # Even the finest gain misses the mask somewhere (or blows the
+            # cap): return the finest in-cap attempt.
+            for gain in range(self.gain_range[0], self.gain_range[1] + 1):
+                values, distortion, bits = evaluate(gain)
+                if bits <= bit_cap:
+                    best = (values, gain, bits, distortion)
+                    break
+            if best is None:
+                n = len(spectrum)
+                return QuantizedGranule(
+                    values=np.zeros(n, dtype=np.int64),
+                    global_gain=self.gain_range[1],
+                    scalefactors=scalefactors,
+                    bits_used=0,
+                    band_distortion=self._band_noise(
+                        spectrum, np.zeros(n), band_edges
+                    ),
+                    iterations=1,
+                )
+        values, gain, bits, distortion = best
+        return QuantizedGranule(
+            values=values,
+            global_gain=gain,
+            scalefactors=scalefactors,
+            bits_used=bits,
+            band_distortion=distortion,
+            iterations=1,
+        )
+
+    def quantize(
+        self,
+        spectrum: np.ndarray,
+        psycho: PsychoResult,
+        bit_budget: int,
+    ) -> QuantizedGranule:
+        """Run the full two-loop quantization of one granule.
+
+        Args:
+            spectrum: MDCT coefficients.
+            psycho: the granule's masking analysis.
+            bit_budget: bits available for the spectrum (after side info).
+        """
+        spectrum = np.asarray(spectrum, dtype=np.float64)
+        if bit_budget < 0:
+            raise ValueError(f"bit_budget must be >= 0, got {bit_budget}")
+        n_bands = psycho.n_bands
+        band_edges = psycho.band_edges
+        scalefactors = np.zeros(n_bands, dtype=np.int64)
+        allowed = psycho.allowed_distortion()
+
+        best: QuantizedGranule | None = None
+        for iteration in range(1, MAX_OUTER_ITERATIONS + 1):
+            line_scale = self._band_scale(scalefactors, band_edges, len(spectrum))
+            values, gain, bits = self._rate_loop(
+                spectrum, line_scale, bit_budget
+            )
+            reconstructed = self.dequantize(
+                values, gain, scalefactors, band_edges
+            )
+            distortion = self._band_noise(spectrum, reconstructed, band_edges)
+            candidate = QuantizedGranule(
+                values=values,
+                global_gain=gain,
+                scalefactors=scalefactors.copy(),
+                bits_used=bits,
+                band_distortion=distortion,
+                iterations=iteration,
+            )
+            if best is None or distortion.sum() < best.band_distortion.sum():
+                best = candidate
+            violating = distortion > allowed
+            if not violating.any():
+                return candidate
+            # Amplify every violating band one scalefactor step and retry.
+            scalefactors = scalefactors + violating.astype(np.int64)
+        assert best is not None
+        return best

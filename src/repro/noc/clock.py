@@ -1,0 +1,74 @@
+"""Per-tile clock domains with synchronization error.
+
+The thesis adopts a GALS-style architecture in which every tile has its own
+clock (Ch. 2): gossip-round durations are normally distributed around the
+nominal period T_R with standard deviation sigma_synchr.  A packet sent by
+tile A during A's round *k* is processed by tile B in the earliest B-round
+that *starts* at or after the end of A's round *k* — with aligned clocks
+that is always round k+1; with skew it is sometimes k+2, producing exactly
+the latency jitter of Fig 4-10 (right).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.faults.injector import FaultInjector
+
+
+class ClockDomain:
+    """The local clock of one tile.
+
+    Round boundaries are drawn lazily from the fault injector (which owns
+    the Normal(T_R, sigma*T_R) model) and memoised, so repeated queries are
+    consistent within a run.
+
+    Args:
+        nominal_period_s: the nominal round duration T_R (Eq. 2).
+        injector: source of per-round duration draws.
+    """
+
+    def __init__(self, nominal_period_s: float, injector: FaultInjector) -> None:
+        if nominal_period_s <= 0:
+            raise ValueError(
+                f"nominal period must be > 0, got {nominal_period_s}"
+            )
+        self.nominal_period_s = nominal_period_s
+        self._injector = injector
+        #: _boundaries[k] is the start time of round k; round k spans
+        #: [_boundaries[k], _boundaries[k+1]).
+        self._boundaries: list[float] = [0.0]
+
+    def _extend_to(self, round_index: int) -> None:
+        while len(self._boundaries) <= round_index + 1:
+            duration = self._injector.round_duration(self.nominal_period_s)
+            self._boundaries.append(self._boundaries[-1] + duration)
+
+    def round_start(self, round_index: int) -> float:
+        """Wall-clock start time of a round."""
+        if round_index < 0:
+            raise ValueError(f"round index must be >= 0, got {round_index}")
+        self._extend_to(round_index)
+        return self._boundaries[round_index]
+
+    def round_end(self, round_index: int) -> float:
+        """Wall-clock end time of a round."""
+        if round_index < 0:
+            raise ValueError(f"round index must be >= 0, got {round_index}")
+        self._extend_to(round_index)
+        return self._boundaries[round_index + 1]
+
+    def first_round_starting_at_or_after(self, time_s: float) -> int:
+        """Index of the earliest round whose start time is >= `time_s`.
+
+        This is the receive-side synchronization rule: data latched after a
+        round has begun waits for the next boundary.
+        """
+        while self._boundaries[-1] < time_s:
+            self._extend_to(len(self._boundaries))
+        index = bisect.bisect_left(self._boundaries, time_s)
+        return index
+
+    def elapsed_through(self, round_index: int) -> float:
+        """Total wall-clock time from t=0 through the end of a round."""
+        return self.round_end(round_index)

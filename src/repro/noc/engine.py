@@ -1,0 +1,507 @@
+"""The round-stepped NoC simulation engine.
+
+One :class:`NocSimulator` owns a topology, a forwarding protocol, a fault
+injector and the tiles; :meth:`NocSimulator.run` executes gossip rounds
+until the mounted application completes (or a round budget expires).  Each
+round follows thesis Fig 3-4:
+
+1. **receive** — packets latched by last round's transmissions pass through
+   each tile's CRC check, duplicate suppression and buffer insertion; first
+   intact copies addressed to the tile are delivered to its IP;
+2. **compute** — IP hooks run (``on_start`` in round 0, then ``on_round``),
+   possibly emitting new packets;
+3. **age** — every buffered packet's TTL decrements; expired packets are
+   garbage-collected;
+4. **send** — every buffered packet is offered to every output port and the
+   protocol's RND circuit decides, per port, whether it is transmitted.
+   Transmissions over dead links vanish; transmissions over live links may
+   suffer a data upset; finite buffers and Bernoulli(p_overflow) drops
+   happen at the receiving latch.
+
+Synchronization errors are modelled through per-tile clock domains: the
+arrival round of a packet is the earliest receiver round starting after the
+sender's current round ends, which with skewed clocks occasionally slips an
+extra round (Ch. 2, Fig 4-10).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.packet import Packet, PacketFactory
+from repro.core.protocol import StochasticProtocol
+from repro.crc import CRC, CRC16_CCITT
+from repro.faults import CrashPlan, FaultConfig, FaultInjector
+from repro.noc.clock import ClockDomain
+from repro.noc.link import DEFAULT_LINK, LinkModel
+from repro.noc.stats import NetworkStats
+from repro.noc.tile import IPCore, Tile, TileContext
+from repro.noc.topology import Topology
+from repro.noc.trace import Observer
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        completed: did the application signal completion within the budget?
+        rounds: gossip rounds elapsed at completion (or the budget).
+        time_s: wall-clock latency — the latest clock-domain time at the
+            completion round (includes synchronization jitter).
+        energy_j: communication energy per Eq. 3 over actual transmissions.
+        stats: full counter breakdown.
+        crash_plan: the static failure map the run executed under.
+    """
+
+    completed: bool
+    rounds: int
+    time_s: float
+    energy_j: float
+    stats: NetworkStats
+    crash_plan: CrashPlan
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Energy x delay in J*s (the thesis' Fig 4-6 figure of merit)."""
+        return self.energy_j * self.time_s
+
+
+class NocSimulator:
+    """A stochastically communicating NoC ready to run an application.
+
+    Args:
+        topology: tile interconnect graph.
+        protocol: forwarding policy (stochastic or flooding).
+        fault_config: the Ch. 2 failure model; defaults to fault-free.
+        seed: seed for the single RNG driving every stochastic element.
+        link_model: electrical link parameters (timing + energy).
+        default_ttl: TTL stamped on new packets; ``None`` picks a
+            topology-aware bound of ``diameter + ceil(log2 n) + 2`` so a
+            message can cross the chip and still gossip a few extra rounds.
+        buffer_capacity: per-tile send-buffer capacity (None = unbounded).
+        buffer_mode: "retain" (default; packets re-gossip every round
+            until TTL death, maximal redundancy) or "relay" (the literal
+            Fig 3-4 pseudo-code: the buffer empties each round, so a
+            packet is forwarded only right after it is received; rumors
+            persist through reinfection).  See
+            benchmarks/bench_ablation_buffer_mode.py for the trade-off.
+        crc: error-detecting code mounted on every tile (Fig 3-5).
+        nominal_round_s: round period T_R; ``None`` derives it from Eq. 2
+            using one max-size packet per link per round.
+        payload_bits: nominal payload size used for Eq. 2 and for the
+            bit-error-model parameterisation.
+        crash_plan: a pre-drawn crash map (overrides p_tile / p_link draws;
+            used by controlled sweeps).
+        protected_tiles: tiles exempt from random crashes.
+        link_delays: per-directed-link transfer delay in rounds (default 1).
+            Hybrid architectures (Ch. 5) use this to model a slow shared
+            bus segment inside an otherwise round-synchronous NoC.
+        link_energy_overrides: per-directed-link energy per bit, replacing
+            the default link model's figure on those links.
+        egress_limits: per-tile cap on link transmissions per round.  A
+            bridge tile standing in for a shared bus gets a small limit,
+            modelling the bus's serialisation; unlisted tiles are unlimited.
+        bus_tiles: tiles whose egress behaves like a shared bus: grants
+            count *packets* (not ports), and each granted packet is driven
+            onto ALL output links at once — a bus transaction is physically
+            seen by every module on the medium.  Combine with
+            `egress_limits` for the serialisation cap.
+        observer: optional :class:`repro.noc.trace.Observer` whose hooks
+            fire on every transmission, drop and delivery (tracing,
+            visualization, custom metrics).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        protocol: StochasticProtocol,
+        fault_config: FaultConfig | None = None,
+        *,
+        seed: int | None = None,
+        link_model: LinkModel = DEFAULT_LINK,
+        default_ttl: int | None = None,
+        buffer_capacity: int | None = None,
+        buffer_mode: str = "retain",
+        crc: CRC = CRC16_CCITT,
+        nominal_round_s: float | None = None,
+        payload_bits: int = 512,
+        crash_plan: CrashPlan | None = None,
+        protected_tiles: frozenset[int] | set[int] = frozenset(),
+        link_delays: dict[tuple[int, int], int] | None = None,
+        link_energy_overrides: dict[tuple[int, int], float] | None = None,
+        egress_limits: dict[int, int] | None = None,
+        bus_tiles: frozenset[int] | set[int] = frozenset(),
+        observer: Observer | None = None,
+    ) -> None:
+        self.topology = topology
+        self.protocol = protocol
+        self.fault_config = fault_config or FaultConfig.fault_free()
+        self.link_model = link_model
+        self.crc = crc
+        self.rng = np.random.default_rng(seed)
+        self.injector = FaultInjector(self.fault_config, self.rng, payload_bits)
+
+        if default_ttl is None:
+            n = topology.n_tiles
+            diameter = topology.diameter() if n <= 128 else int(2 * np.sqrt(n))
+            default_ttl = diameter + int(np.ceil(np.log2(max(n, 2)))) + 2
+        self.default_ttl = default_ttl
+
+        if nominal_round_s is None:
+            # Eq. 2 with N_packets/round = 1 at the nominal payload size.
+            size_bits = payload_bits + 8 * (16 + crc.n_check_bytes)
+            nominal_round_s = link_model.transfer_time_s(size_bits)
+        self.nominal_round_s = nominal_round_s
+
+        self.tiles: dict[int, Tile] = {
+            tid: Tile(
+                tid,
+                factory=PacketFactory(tid, default_ttl=default_ttl, crc=crc),
+                buffer_capacity=buffer_capacity,
+                buffer_mode=buffer_mode,
+            )
+            for tid in topology.tile_ids
+        }
+        self.clocks: dict[int, ClockDomain] = {
+            tid: ClockDomain(self.nominal_round_s, self.injector)
+            for tid in topology.tile_ids
+        }
+        self.stats = NetworkStats()
+
+        if crash_plan is None:
+            crash_plan = self.injector.draw_crash_plan(
+                topology.tile_ids, topology.links, protected_tiles
+            )
+        self.crash_plan = crash_plan
+        for tid in crash_plan.dead_tiles:
+            self.tiles[tid].crash()
+
+        #: round -> tile -> [(packet, was_upset)] waiting to be latched.
+        self._arrivals: dict[int, dict[int, list[tuple[Packet, bool]]]] = (
+            defaultdict(lambda: defaultdict(list))
+        )
+        self._mounted: list[int] = []
+        self._unique_keys: set[tuple[int, int]] = set()
+        self.current_round = 0
+        #: round -> tiles/links to crash at that round's start (the
+        #: thesis' "crashes during the early stages" scenario, §4.1.3).
+        self._scheduled_tile_crashes: dict[int, list[int]] = defaultdict(list)
+        self._scheduled_link_crashes: dict[int, list[tuple[int, int]]] = (
+            defaultdict(list)
+        )
+        self._dynamic_dead_links: set[tuple[int, int]] = set()
+
+        self.link_delays = dict(link_delays or {})
+        if any(delay < 1 for delay in self.link_delays.values()):
+            raise ValueError("link delays must be >= 1 round")
+        self.link_energy_overrides = dict(link_energy_overrides or {})
+        self.egress_limits = dict(egress_limits or {})
+        if any(limit < 1 for limit in self.egress_limits.values()):
+            raise ValueError("egress limits must be >= 1")
+        self.bus_tiles = frozenset(bus_tiles)
+        self.observer = observer
+
+    # ------------------------------------------------------------- app setup
+
+    def mount(self, tile_id: int, ip: IPCore) -> None:
+        """Attach an IP core to a tile (replacing the default relay)."""
+        self.topology.validate_tile(tile_id)
+        self.tiles[tile_id].ip = ip
+        self._mounted.append(tile_id)
+
+    def schedule_tile_crash(self, round_index: int, tile_id: int) -> None:
+        """Crash a tile at the start of a future round (field failure)."""
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        self.topology.validate_tile(tile_id)
+        self._scheduled_tile_crashes[round_index].append(tile_id)
+
+    def schedule_link_crash(
+        self, round_index: int, link: tuple[int, int]
+    ) -> None:
+        """Crash a directed link at the start of a future round."""
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        if link not in self.topology.links:
+            raise ValueError(f"{link} is not a link of this topology")
+        self._scheduled_link_crashes[round_index].append(link)
+
+    def _link_alive(self, src: int, dst: int) -> bool:
+        return (
+            self.crash_plan.link_alive(src, dst)
+            and (src, dst) not in self._dynamic_dead_links
+        )
+
+    def _apply_scheduled_crashes(self, round_index: int) -> None:
+        for tile_id in self._scheduled_tile_crashes.pop(round_index, []):
+            self.tiles[tile_id].crash()
+        for link in self._scheduled_link_crashes.pop(round_index, []):
+            self._dynamic_dead_links.add(link)
+
+    @property
+    def mounted_tiles(self) -> list[int]:
+        return list(self._mounted)
+
+    def application_complete(self) -> bool:
+        """All mounted, *live* IPs report completion.
+
+        Crashed tiles are excluded: the application layer must decide
+        whether it can survive a dead replica (cf. IP duplication, §4.1.1).
+        """
+        live = [tid for tid in self._mounted if self.tiles[tid].alive]
+        return bool(live) and all(self.tiles[tid].ip.complete for tid in live)
+
+    # ------------------------------------------------------------- execution
+
+    def run(
+        self,
+        max_rounds: int = 1000,
+        until: Callable[["NocSimulator"], bool] | None = None,
+    ) -> SimulationResult:
+        """Execute rounds until completion or budget exhaustion.
+
+        Args:
+            max_rounds: hard budget on gossip rounds.
+            until: custom completion predicate; defaults to
+                :meth:`application_complete`.
+        """
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        predicate = until if until is not None else NocSimulator.application_complete
+
+        completed = False
+        final_round = max_rounds
+        for round_index in range(max_rounds):
+            self.current_round = round_index
+            if self.observer is not None:
+                self.observer.on_round_begin(round_index)
+            self._receive_phase(round_index)
+            self._compute_phase(round_index)
+            if predicate(self):
+                completed = True
+                final_round = round_index
+                break
+            self._age_phase()
+            self._send_phase(round_index)
+
+        time_s = max(
+            self.clocks[tid].round_end(final_round if completed else max_rounds - 1)
+            for tid in self.topology.tile_ids
+        )
+        energy_j = self.stats.energy_j
+        return SimulationResult(
+            completed=completed,
+            rounds=final_round if completed else max_rounds,
+            time_s=time_s,
+            energy_j=energy_j,
+            stats=self.stats,
+            crash_plan=self.crash_plan,
+        )
+
+    # ----------------------------------------------------------- round phases
+
+    def _receive_phase(self, round_index: int) -> None:
+        self._apply_scheduled_crashes(round_index)
+        for tile in self.tiles.values():
+            if tile.alive:
+                tile.begin_round()
+        arrivals = self._arrivals.pop(round_index, {})
+        newly_informed = 0
+        for tile_id, latched in arrivals.items():
+            tile = self.tiles[tile_id]
+            was_informed = tile.informed
+            for packet, was_upset in latched:
+                if self.injector.overflow_occurs():
+                    self.stats.overflow_drops += 1
+                    if self.observer is not None:
+                        self.observer.on_overflow_drop(round_index, tile_id)
+                    continue
+                if was_upset and packet.is_intact():
+                    # The scramble happened to pass the CRC — an escape.
+                    self.stats.upsets_escaped += 1
+                if (
+                    self.observer is not None
+                    and tile.alive
+                    and not packet.is_intact()
+                ):
+                    self.observer.on_crc_drop(round_index, tile_id, packet)
+                delivered = tile.receive(packet, self.stats)
+                if delivered is not None and tile.alive:
+                    if self.observer is not None:
+                        self.observer.on_delivery(
+                            round_index, tile_id, delivered
+                        )
+                    ctx = TileContext(tile, round_index, self.rng)
+                    tile.ip.on_receive(ctx, delivered)
+            if tile.informed and not was_informed:
+                newly_informed += 1
+        if newly_informed:
+            self.stats.per_round_informed[round_index] = newly_informed
+
+    def _compute_phase(self, round_index: int) -> None:
+        for tile_id in self.topology.tile_ids:
+            tile = self.tiles[tile_id]
+            if not tile.alive:
+                continue
+            ctx = TileContext(tile, round_index, self.rng)
+            if round_index == 0:
+                tile.ip.on_start(ctx)
+            tile.ip.on_round(ctx)
+        # Unique-message accounting (Eq. 3): union of per-tile origination
+        # keys, so replicas pinning their primary's identity count once.
+        self._unique_keys.clear()
+        for tile in self.tiles.values():
+            self._unique_keys |= tile.originated_keys
+        self.stats.unique_messages_created = len(self._unique_keys)
+
+    def _age_phase(self) -> None:
+        for tile in self.tiles.values():
+            if tile.alive:
+                self.stats.ttl_expirations += tile.decrement_ttls()
+
+    def _send_phase(self, round_index: int) -> None:
+        for tile_id in self.topology.tile_ids:
+            tile = self.tiles[tile_id]
+            if not tile.alive:
+                continue
+            neighbors = self.topology.neighbors(tile_id)
+            if not neighbors:
+                continue
+            sender_clock = self.clocks[tile_id]
+            sender_end = sender_clock.round_end(round_index)
+            budget = self.egress_limits.get(tile_id)
+            packets = tile.outgoing_packets()
+            if budget is not None and len(packets) > 1:
+                # Rotate service order so an egress-limited bridge shares
+                # its grants round-robin instead of head-of-line blocking.
+                start = round_index % len(packets)
+                packets = packets[start:] + packets[:start]
+            if tile_id in self.bus_tiles:
+                self._send_as_bus(
+                    tile_id, packets, neighbors, sender_end, round_index, budget
+                )
+                continue
+            for packet in packets:
+                if budget is not None and budget <= 0:
+                    break
+                decisions = self.protocol.decide(
+                    packet, neighbors, self.rng, tile_id=tile_id
+                )
+                for decision in decisions:
+                    if not decision.transmit:
+                        continue
+                    if budget is not None:
+                        if budget <= 0:
+                            break
+                        budget -= 1  # a grant is consumed even if wasted
+                    dst = decision.neighbor
+                    if not self._link_alive(tile_id, dst):
+                        self.stats.record_dead_link()
+                        if self.observer is not None:
+                            self.observer.on_dead_link_drop(
+                                round_index, tile_id, dst
+                            )
+                        continue
+                    copy = packet.copy_for_link()
+                    was_upset = False
+                    if self.injector.upset_occurs():
+                        was_upset = True
+                        self.stats.upsets_injected += 1
+                        copy = copy.scrambled(self.injector.corrupt(copy.codeword))
+                        if self.observer is not None:
+                            self.observer.on_upset_injected(
+                                round_index, tile_id, dst, copy
+                            )
+                    arrival = self._arrival_round(
+                        tile_id, dst, sender_end, round_index
+                    )
+                    self._arrivals[arrival][dst].append((copy, was_upset))
+                    energy_per_bit = self.link_energy_overrides.get(
+                        (tile_id, dst), self.link_model.energy_per_bit_j
+                    )
+                    self.stats.record_transmission(
+                        round_index,
+                        copy.size_bits,
+                        copy.size_bits * energy_per_bit,
+                    )
+                    if self.observer is not None:
+                        self.observer.on_transmission(
+                            round_index, tile_id, dst, copy
+                        )
+
+    def _send_as_bus(
+        self,
+        tile_id: int,
+        packets: list[Packet],
+        neighbors: tuple[int, ...],
+        sender_end: float,
+        round_index: int,
+        budget: int | None,
+    ) -> None:
+        """Bus-transaction egress: one grant drives a packet onto every
+        output link at once (broadcast medium), up to `budget` grants."""
+        grants = budget if budget is not None else len(packets)
+        for packet in packets[:grants]:
+            for dst in neighbors:
+                if not self._link_alive(tile_id, dst):
+                    self.stats.record_dead_link()
+                    if self.observer is not None:
+                        self.observer.on_dead_link_drop(
+                            round_index, tile_id, dst
+                        )
+                    continue
+                copy = packet.copy_for_link()
+                was_upset = False
+                if self.injector.upset_occurs():
+                    was_upset = True
+                    self.stats.upsets_injected += 1
+                    copy = copy.scrambled(self.injector.corrupt(copy.codeword))
+                    if self.observer is not None:
+                        self.observer.on_upset_injected(
+                            round_index, tile_id, dst, copy
+                        )
+                arrival = self._arrival_round(
+                    tile_id, dst, sender_end, round_index
+                )
+                self._arrivals[arrival][dst].append((copy, was_upset))
+                energy_per_bit = self.link_energy_overrides.get(
+                    (tile_id, dst), self.link_model.energy_per_bit_j
+                )
+                self.stats.record_transmission(
+                    round_index, copy.size_bits, copy.size_bits * energy_per_bit
+                )
+                if self.observer is not None:
+                    self.observer.on_transmission(
+                        round_index, tile_id, dst, copy
+                    )
+
+    def _arrival_round(
+        self, src: int, dst: int, sender_end: float, round_index: int
+    ) -> int:
+        """Earliest receiver round at which this transfer can be latched.
+
+        Slow links (``link_delays > 1``) hold the packet for extra rounds;
+        skewed clocks push arrivals past the receiver's next boundary.
+        """
+        delay = self.link_delays.get((src, dst), 1)
+        if self.fault_config.sigma_synchr == 0.0:
+            return round_index + delay
+        receiver_clock = self.clocks[dst]
+        ready_time = sender_end + (delay - 1) * self.nominal_round_s
+        arrival = receiver_clock.first_round_starting_at_or_after(ready_time)
+        return max(arrival, round_index + delay)
+
+    # ------------------------------------------------------------- inspection
+
+    def informed_tiles(self) -> list[int]:
+        """Tiles that have buffered or originated at least one message."""
+        return [tid for tid, tile in self.tiles.items() if tile.informed]
+
+    def tile(self, tile_id: int) -> Tile:
+        self.topology.validate_tile(tile_id)
+        return self.tiles[tile_id]

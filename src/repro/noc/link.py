@@ -1,0 +1,55 @@
+"""Physical link timing and energy parameters.
+
+The thesis' bus comparison (§4.1.4) characterises a 0.25 µm tile-to-tile
+link as running at 381 MHz and dissipating 2.4e-10 J per transmitted bit.
+:class:`LinkModel` carries those constants; the per-packet quantities are
+derived from the packet's on-wire size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Electrical model of one tile-to-tile link.
+
+    Attributes:
+        frequency_hz: maximum toggling rate of the link (bits per second per
+            wire; the model treats the link as one bit-serial lane, which
+            only scales latency by a constant and cancels in comparisons).
+        energy_per_bit_j: switching energy per transmitted bit.
+        width_bits: parallel wires in the link (divides serialisation time).
+    """
+
+    frequency_hz: float = 381e6
+    energy_per_bit_j: float = 2.4e-10
+    width_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(f"frequency must be > 0, got {self.frequency_hz}")
+        if self.energy_per_bit_j < 0:
+            raise ValueError(
+                f"energy per bit must be >= 0, got {self.energy_per_bit_j}"
+            )
+        if self.width_bits < 1:
+            raise ValueError(f"width must be >= 1 bit, got {self.width_bits}")
+
+    def transfer_time_s(self, size_bits: int) -> float:
+        """Serialisation time for one packet of `size_bits` bits."""
+        if size_bits < 0:
+            raise ValueError(f"size_bits must be >= 0, got {size_bits}")
+        cycles = -(-size_bits // self.width_bits)  # ceil division
+        return cycles / self.frequency_hz
+
+    def transfer_energy_j(self, size_bits: int) -> float:
+        """Energy to push one packet of `size_bits` bits over this link."""
+        if size_bits < 0:
+            raise ValueError(f"size_bits must be >= 0, got {size_bits}")
+        return size_bits * self.energy_per_bit_j
+
+
+#: The 0.25 µm link of thesis §4.1.4.
+DEFAULT_LINK = LinkModel()

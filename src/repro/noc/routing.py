@@ -1,0 +1,95 @@
+"""Deterministic dimension-ordered (XY) routing — the fragility baseline.
+
+Thesis §1 argues that a static route "would fail if even a single tile or
+a link on the path is faulty".  This module makes that claim testable: an
+:class:`XYRoutingProtocol` drives the same tiles and engine as the
+stochastic protocol, but each unicast packet leaves a tile on exactly one
+port — first along X to the destination's column, then along Y — so one
+crash anywhere on that unique path is fatal.
+
+The protocol is interface-compatible with
+:class:`repro.core.protocol.StochasticProtocol` (the engine hands it the
+current tile id), and broadcasts fall back to flooding since XY routing
+has no broadcast story of its own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.packet import BROADCAST, Packet
+from repro.core.protocol import ForwardDecision
+from repro.noc.topology import Mesh2D
+
+
+class XYRoutingProtocol:
+    """Dimension-ordered routing on a 2-D mesh.
+
+    Args:
+        mesh: the grid the protocol routes on (needed for coordinates).
+    """
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self.mesh = mesh
+        self.name = "xy-routing"
+        self.forward_probability = 1.0  # deterministic, single port
+
+    @property
+    def is_deterministic(self) -> bool:
+        return True
+
+    def next_hop(self, tile_id: int, destination: int) -> int | None:
+        """The unique XY next hop, or None when already at the target."""
+        self.mesh.validate_tile(tile_id)
+        self.mesh.validate_tile(destination)
+        row, col = self.mesh.coordinates(tile_id)
+        dest_row, dest_col = self.mesh.coordinates(destination)
+        if col != dest_col:
+            step = 1 if dest_col > col else -1
+            return self.mesh.tile_at(row, col + step)
+        if row != dest_row:
+            step = 1 if dest_row > row else -1
+            return self.mesh.tile_at(row + step, col)
+        return None
+
+    def route(self, source: int, destination: int) -> list[int]:
+        """The full XY path, source and destination inclusive."""
+        path = [source]
+        current = source
+        while True:
+            following = self.next_hop(current, destination)
+            if following is None:
+                return path
+            path.append(following)
+            current = following
+
+    def decide(
+        self,
+        packet: Packet,
+        neighbors: tuple[int, ...],
+        rng: np.random.Generator,
+        tile_id: int | None = None,
+    ) -> list[ForwardDecision]:
+        """Transmit on the single XY port (or every port for broadcast)."""
+        if tile_id is None:
+            raise ValueError(
+                "XY routing needs the current tile id; run it under an "
+                "engine that provides one"
+            )
+        if packet.destination == BROADCAST:
+            return [
+                ForwardDecision(port, neighbor, True)
+                for port, neighbor in enumerate(neighbors)
+            ]
+        target = self.next_hop(tile_id, packet.destination)
+        return [
+            ForwardDecision(port, neighbor, neighbor == target)
+            for port, neighbor in enumerate(neighbors)
+        ]
+
+    def expected_copies_per_round(self, degree: int) -> float:
+        del degree  # a unicast leaves on exactly one port
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"XYRoutingProtocol({self.mesh!r})"

@@ -1,0 +1,117 @@
+"""Statistics collected during a NoC simulation.
+
+The counters map directly onto the metrics of thesis §3.3: the number of
+broadcast rounds (latency), the total number of packets sent (bandwidth and,
+through Eq. 3, energy), and the breakdown of losses by failure mode
+(fault-tolerance accounting).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkStats:
+    """Mutable counters updated by the simulation engine."""
+
+    #: Link traversals attempted (RND circuit said "send", link may be dead).
+    transmissions_attempted: int = 0
+    #: Link traversals that reached the far-end latch (live link).
+    transmissions_delivered: int = 0
+    #: Bits pushed over live links (drives the Eq. 3 energy estimate).
+    bits_transmitted: int = 0
+    #: Accumulated communication energy (Eq. 3, honouring per-link
+    #: energy-per-bit overrides in hybrid architectures).
+    energy_j: float = 0.0
+    #: Packets scrambled by an injected data upset in transit.
+    upsets_injected: int = 0
+    #: Corrupt packets caught and dropped by a receiving tile's CRC.
+    upsets_detected: int = 0
+    #: Corrupt packets whose scramble defeated the CRC (delivered corrupt).
+    upsets_escaped: int = 0
+    #: Packets dropped on arrival because the input buffer was full.
+    overflow_drops: int = 0
+    #: Packets lost to a dead link.
+    dead_link_drops: int = 0
+    #: Packets arriving at a crashed tile (silently swallowed).
+    dead_tile_drops: int = 0
+    #: Arrivals discarded because the (source, id) key was already seen.
+    duplicates_suppressed: int = 0
+    #: Packets garbage-collected on TTL expiry.
+    ttl_expirations: int = 0
+    #: Distinct (tile, key) IP deliveries.
+    deliveries: int = 0
+    #: Sum of link-hop counts of the first-delivered copy of each message.
+    #: ``delivery_hops_total / deliveries`` is the average path length a
+    #: delivered message actually travelled — the quantity behind the
+    #: thesis' path-energy accounting in Fig 4-6.
+    delivery_hops_total: int = 0
+    #: Unique messages created by IPs (dedup keeps this flat under IP
+    #: duplication — thesis §4.1.3).
+    unique_messages_created: int = 0
+    #: Per-round delivered transmission counts (spread curves, Fig 3-1).
+    per_round_transmissions: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: round -> number of tiles newly informed of any message that round.
+    per_round_informed: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def record_transmission(
+        self, round_index: int, size_bits: int, energy_j: float = 0.0
+    ) -> None:
+        self.transmissions_attempted += 1
+        self.transmissions_delivered += 1
+        self.bits_transmitted += size_bits
+        self.energy_j += energy_j
+        self.per_round_transmissions[round_index] += 1
+
+    def record_dead_link(self) -> None:
+        self.transmissions_attempted += 1
+        self.dead_link_drops += 1
+
+    @property
+    def loss_total(self) -> int:
+        """All packets that vanished for any reason."""
+        return (
+            self.upsets_detected
+            + self.overflow_drops
+            + self.dead_link_drops
+            + self.dead_tile_drops
+        )
+
+    @property
+    def mean_delivery_hops(self) -> float:
+        """Average hops of first-delivered copies (0 when nothing arrived)."""
+        if self.deliveries == 0:
+            return 0.0
+        return self.delivery_hops_total / self.deliveries
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / attempted link transmissions (1.0 when nothing sent)."""
+        if self.transmissions_attempted == 0:
+            return 1.0
+        return self.transmissions_delivered / self.transmissions_attempted
+
+    def summary(self) -> dict[str, int | float]:
+        """A flat dict suitable for tabulation in experiment reports."""
+        return {
+            "transmissions_attempted": self.transmissions_attempted,
+            "transmissions_delivered": self.transmissions_delivered,
+            "bits_transmitted": self.bits_transmitted,
+            "upsets_injected": self.upsets_injected,
+            "upsets_detected": self.upsets_detected,
+            "upsets_escaped": self.upsets_escaped,
+            "overflow_drops": self.overflow_drops,
+            "dead_link_drops": self.dead_link_drops,
+            "dead_tile_drops": self.dead_tile_drops,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "ttl_expirations": self.ttl_expirations,
+            "deliveries": self.deliveries,
+            "unique_messages_created": self.unique_messages_created,
+            "delivery_ratio": self.delivery_ratio,
+        }

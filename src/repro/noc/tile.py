@@ -1,0 +1,267 @@
+"""The tile micro-architecture of thesis Fig 3-5.
+
+A tile hosts an IP core, edge buffers for arriving packets, a CRC decoder on
+the receive path, a deduplicating send-buffer, and (conceptually) the RND
+circuits that gate each output port — the Bernoulli draws themselves live in
+:mod:`repro.core.protocol` so that the same tile can run under flooding or
+any forwarding probability.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.packet import Packet, PacketFactory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.noc.stats import NetworkStats
+
+
+class TileState(enum.Enum):
+    """Health of a tile (crash failures are permanent, Ch. 2)."""
+
+    ALIVE = "alive"
+    CRASHED = "crashed"
+
+
+class TileContext:
+    """The API surface an IP core sees during a simulation callback.
+
+    Provides the tile's identity, the current round, a seeded RNG, and a
+    ``send`` primitive that stamps packets with the tile's factory.
+    """
+
+    def __init__(
+        self,
+        tile: "Tile",
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self._tile = tile
+        self.round_index = round_index
+        self.rng = rng
+
+    @property
+    def tile_id(self) -> int:
+        return self._tile.tile_id
+
+    def send(
+        self,
+        destination: int,
+        payload: bytes,
+        ttl: int | None = None,
+        source: int | None = None,
+        message_id: int | None = None,
+    ) -> Packet:
+        """Emit a packet into the tile's send-buffer this round.
+
+        `source` / `message_id` may be pinned by a duplicated IP so that its
+        packets deduplicate against its primary's (thesis §4.1.3).
+        """
+        packet = self._tile.factory.make(
+            destination,
+            payload,
+            ttl=ttl,
+            created_round=self.round_index,
+            source=source,
+            message_id=message_id,
+        )
+        self._tile.originate(packet)
+        return packet
+
+
+class IPCore(ABC):
+    """Base class for application logic mapped onto one tile.
+
+    Subclasses override any of the three hooks; all are optional so purely
+    relaying tiles can mount a bare ``IPCore()``.  The engine calls:
+
+    * :meth:`on_start` once, during round 0, before any traffic moves;
+    * :meth:`on_receive` once per *distinct* delivered message;
+    * :meth:`on_round` once per round after deliveries.
+    """
+
+    def on_start(self, ctx: TileContext) -> None:
+        """Called once before the first round's traffic."""
+
+    def on_receive(self, ctx: TileContext, packet: Packet) -> None:
+        """Called for each distinct packet addressed to this tile."""
+
+    def on_round(self, ctx: TileContext) -> None:
+        """Called every round after arrivals are processed."""
+
+    @property
+    def complete(self) -> bool:
+        """Has this IP finished its part of the application?"""
+        return True
+
+
+class RelayCore(IPCore):
+    """An IP that only relays traffic (default filler for unused tiles)."""
+
+
+class Tile:
+    """One tile of the NoC: IP + buffers + receive-path CRC + send-buffer.
+
+    Args:
+        tile_id: position in the topology.
+        ip: application logic, or None for a pure relay.
+        factory: packet factory holding the tile's message-id counter.
+        buffer_capacity: maximum distinct packets held in the send-buffer;
+            ``None`` means unbounded.  Arrivals beyond capacity evict the
+            *oldest* buffered message first (thesis §4.2).
+        buffer_mode: ``"retain"`` keeps a packet buffered (and re-offered
+            to the RND circuits every round) until its TTL expires —
+            maximal redundancy.  ``"relay"`` follows the literal Fig 3-4
+            pseudo-code (``send_buffer <- empty`` at the top of each
+            round): a packet is forwarded only in the round after it was
+            received, and duplicate suppression applies to the *current*
+            buffer only, so reinfection keeps a rumor circulating.
+    """
+
+    def __init__(
+        self,
+        tile_id: int,
+        ip: IPCore | None = None,
+        factory: PacketFactory | None = None,
+        buffer_capacity: int | None = None,
+        buffer_mode: str = "retain",
+    ) -> None:
+        if buffer_capacity is not None and buffer_capacity < 1:
+            raise ValueError(
+                f"buffer_capacity must be >= 1 or None, got {buffer_capacity}"
+            )
+        if buffer_mode not in ("retain", "relay"):
+            raise ValueError(
+                f"buffer_mode must be 'retain' or 'relay', got {buffer_mode!r}"
+            )
+        self.buffer_mode = buffer_mode
+        self.tile_id = tile_id
+        self.ip = ip if ip is not None else RelayCore()
+        self.factory = factory if factory is not None else PacketFactory(tile_id)
+        self.buffer_capacity = buffer_capacity
+        self.state = TileState.ALIVE
+        #: key -> packet; insertion order doubles as age for eviction.
+        self.send_buffer: OrderedDict[tuple[int, int], Packet] = OrderedDict()
+        #: keys ever accepted into the send-buffer (suppresses re-insertion
+        #: of late duplicates after TTL expiry).
+        self.seen_keys: set[tuple[int, int]] = set()
+        #: keys already handed to the IP (each message delivered once).
+        self.delivered_keys: set[tuple[int, int]] = set()
+        #: keys of packets this tile's IP originated (for the unique-message
+        #: count of Eq. 3; replicas pinning their primary's key collide here
+        #: by design).
+        self.originated_keys: set[tuple[int, int]] = set()
+        #: True once this tile has buffered or originated any message —
+        #: "informed" in the rumor-spreading sense.
+        self.informed = False
+
+    @property
+    def alive(self) -> bool:
+        return self.state == TileState.ALIVE
+
+    def crash(self) -> None:
+        """Permanently halt the tile; buffered packets are lost."""
+        self.state = TileState.CRASHED
+        self.send_buffer.clear()
+
+    # ------------------------------------------------------------- send path
+
+    def originate(self, packet: Packet) -> None:
+        """Insert a locally generated packet into the send-buffer."""
+        if not self.alive:
+            return
+        self.originated_keys.add(packet.key)
+        # A tile never delivers its own message back to its IP, even when
+        # the destination is BROADCAST and a copy gossips back around.
+        self.delivered_keys.add(packet.key)
+        self._insert(packet)
+
+    def begin_round(self) -> None:
+        """Round-start housekeeping: relay mode empties the send-buffer
+        (the literal first line of Fig 3-4)."""
+        if self.buffer_mode == "relay":
+            self.send_buffer.clear()
+
+    def _insert(self, packet: Packet) -> bool:
+        """Dedup-insert; returns True when the packet took a new slot."""
+        key = packet.key
+        if self.buffer_mode == "relay":
+            # Fig 3-4 dedups against the current buffer only; a copy that
+            # arrives in a later round is relayed again (reinfection).
+            if key in self.send_buffer:
+                return False
+        elif key in self.seen_keys:
+            return False
+        if (
+            self.buffer_capacity is not None
+            and len(self.send_buffer) >= self.buffer_capacity
+        ):
+            # Evict the oldest message to make room (thesis §4.2).
+            self.send_buffer.popitem(last=False)
+        self.send_buffer[key] = packet
+        self.seen_keys.add(key)
+        self.informed = True
+        return True
+
+    def decrement_ttls(self) -> int:
+        """Age every buffered packet one round; GC expired ones.
+
+        Returns the number of packets garbage-collected.
+        """
+        expired = []
+        for key, packet in self.send_buffer.items():
+            packet.ttl -= 1
+            if packet.ttl <= 0:
+                expired.append(key)
+        for key in expired:
+            del self.send_buffer[key]
+        return len(expired)
+
+    def outgoing_packets(self) -> list[Packet]:
+        """Snapshot of the send-buffer for this round's forwarding phase."""
+        if not self.alive:
+            return []
+        return list(self.send_buffer.values())
+
+    # ---------------------------------------------------------- receive path
+
+    def receive(
+        self,
+        packet: Packet,
+        stats: "NetworkStats",
+    ) -> Packet | None:
+        """Run one arriving packet through the Fig 3-5 receive path.
+
+        CRC check → duplicate suppression → buffer insertion; returns the
+        packet when it should additionally be *delivered* to the IP (first
+        intact copy addressed to this tile), else None.
+        """
+        if not self.alive:
+            stats.dead_tile_drops += 1
+            return None
+        if not packet.is_intact():
+            stats.upsets_detected += 1
+            return None
+        key = packet.key
+        newly_buffered = self._insert(packet)
+        if not newly_buffered:
+            stats.duplicates_suppressed += 1
+        deliver = packet.is_for(self.tile_id) and key not in self.delivered_keys
+        if deliver:
+            self.delivered_keys.add(key)
+            stats.deliveries += 1
+            stats.delivery_hops_total += packet.hop_count
+            return packet
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tile({self.tile_id}, {self.state.value}, "
+            f"buffered={len(self.send_buffer)})"
+        )

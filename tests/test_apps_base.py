@@ -1,0 +1,81 @@
+"""Tests for the Application/Placement layer."""
+
+import pytest
+
+from repro.apps.base import Application, Placement, run_on_bus, run_on_noc
+from repro.bus.simulator import BusSimulator
+from repro.core.protocol import FloodingProtocol
+from repro.noc.engine import NocSimulator
+from repro.noc.tile import IPCore
+from repro.noc.topology import Mesh2D
+
+
+class _Ping(IPCore):
+    def __init__(self, destination):
+        self.destination = destination
+        self.done = False
+
+    def on_start(self, ctx):
+        ctx.send(self.destination, b"ping")
+        self.done = True
+
+    @property
+    def complete(self):
+        return self.done
+
+
+class _Pong(IPCore):
+    def __init__(self):
+        self.got = False
+
+    def on_receive(self, ctx, packet):
+        self.got = True
+
+    @property
+    def complete(self):
+        return self.got
+
+
+class _PingPongApp(Application):
+    def __init__(self, a=0, b=3):
+        self.ping = _Ping(b)
+        self.pong = _Pong()
+        self.a = a
+        self.b = b
+
+    def placements(self):
+        return [Placement(self.a, self.ping), Placement(self.b, self.pong)]
+
+
+class TestDeploy:
+    def test_deploys_on_noc(self):
+        app = _PingPongApp()
+        sim = NocSimulator(Mesh2D(2, 2), FloodingProtocol(), seed=0)
+        result = run_on_noc(app, sim, max_rounds=10)
+        assert result.completed
+        assert app.complete
+
+    def test_deploys_on_bus(self):
+        app = _PingPongApp()
+        bus = BusSimulator(4, seed=0)
+        result = run_on_bus(app, bus)
+        assert result.completed
+        assert app.complete
+
+    def test_duplicate_placement_rejected(self):
+        app = _PingPongApp(a=1, b=1)
+        sim = NocSimulator(Mesh2D(2, 2), FloodingProtocol(), seed=0)
+        with pytest.raises(ValueError, match="duplicate placement"):
+            app.deploy(sim)
+
+    def test_default_critical_tiles(self):
+        app = _PingPongApp(a=0, b=3)
+        assert app.critical_tiles == frozenset({0, 3})
+
+    def test_complete_requires_all(self):
+        app = _PingPongApp()
+        assert not app.complete
+        app.ping.done = True
+        assert not app.complete
+        app.pong.got = True
+        assert app.complete

@@ -1,0 +1,154 @@
+"""Tests for the beamforming workload (Ch. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.beamforming import (
+    BeamformingApp,
+    delay_and_sum,
+    synthesize_plane_wave,
+)
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.noc.engine import NocSimulator
+from repro.noc.topology import Mesh2D
+
+
+class TestSynthesis:
+    def test_shape_and_dtype(self):
+        frames = synthesize_plane_wave(4, 64, 2, seed=0)
+        assert frames.shape == (4, 64)
+        assert frames.dtype == np.int16
+
+    def test_delay_structure(self):
+        # Without noise, sensor k equals sensor 0 shifted by k*delay.
+        frames = synthesize_plane_wave(3, 64, 4, noise_std=0.0, seed=1)
+        assert np.array_equal(frames[1, :-4], frames[0, 4:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_plane_wave(0, 64, 2)
+
+
+class TestDelayAndSum:
+    def test_steering_at_source_maximises_power(self):
+        frames = synthesize_plane_wave(6, 128, 3, noise_std=5.0, seed=2)
+        powers = {
+            steer: float(np.mean(delay_and_sum(frames.astype(float), steer) ** 2))
+            for steer in range(0, 7)
+        }
+        assert max(powers, key=powers.get) == 3
+
+    def test_zero_delay_is_plain_average(self):
+        frames = np.array([[2.0, 4.0], [4.0, 8.0]])
+        assert np.allclose(delay_and_sum(frames, 0), [3.0, 6.0])
+
+
+class TestDirectMapping:
+    def test_runs_to_completion(self):
+        app = BeamformingApp(
+            sensor_tiles=[0, 3, 12, 15],
+            collector_tile=5,
+            n_frames=2,
+            n_samples=32,
+        )
+        sim = NocSimulator(Mesh2D(4, 4), StochasticProtocol(0.5), seed=0)
+        app.deploy(sim)
+        result = sim.run(300, until=lambda s: app.collector.complete)
+        assert result.completed
+        assert app.collector.frames_complete == 2
+
+    def test_beamformed_output_matches_reference(self):
+        app = BeamformingApp(
+            sensor_tiles=[0, 3, 12, 15],
+            collector_tile=5,
+            n_frames=1,
+            n_samples=32,
+            source_delay=2,
+            seed=3,
+        )
+        sim = NocSimulator(Mesh2D(4, 4), FloodingProtocol(), seed=0)
+        app.deploy(sim)
+        sim.run(50, until=lambda s: app.collector.complete)
+        output = app.collector.beamform(0)
+        frames = np.stack(
+            [app.sensors[k].frames[0].astype(float) for k in range(4)]
+        )
+        assert np.allclose(output, delay_and_sum(frames, 2))
+
+
+class TestAggregatedMapping:
+    def _aggregated_app(self, seed=4):
+        return BeamformingApp(
+            sensor_tiles=[1, 2, 13, 14],
+            collector_tile=5,
+            n_frames=2,
+            n_samples=32,
+            seed=seed,
+            aggregators={0: [1, 2], 15: [13, 14]},
+            intra_ttl=10,
+            backbone_ttl=14,
+        )
+
+    def test_runs_to_completion(self):
+        app = self._aggregated_app()
+        sim = NocSimulator(Mesh2D(4, 4), StochasticProtocol(0.5), seed=1)
+        app.deploy(sim)
+        result = sim.run(300, until=lambda s: app.collector.complete)
+        assert result.completed
+
+    def test_aggregated_equals_direct_beamforming(self):
+        app = self._aggregated_app(seed=5)
+        sim = NocSimulator(Mesh2D(4, 4), FloodingProtocol(), seed=2)
+        app.deploy(sim)
+        sim.run(80, until=lambda s: app.collector.complete)
+        aggregated = app.collector.beamform(0)
+        frames = np.stack(
+            [app.sensors[k].frames[0].astype(float) for k in range(4)]
+        )
+        assert np.allclose(aggregated, delay_and_sum(frames, 2))
+
+    def test_aggregation_validation(self):
+        with pytest.raises(ValueError, match="partition"):
+            BeamformingApp(
+                sensor_tiles=[1, 2],
+                collector_tile=5,
+                aggregators={0: [1]},  # misses sensor 2
+            )
+        with pytest.raises(ValueError, match="collector"):
+            BeamformingApp(
+                sensor_tiles=[1, 2],
+                collector_tile=5,
+                aggregators={5: [1, 2]},
+            )
+
+
+class TestValidation:
+    def test_collector_not_sensor(self):
+        with pytest.raises(ValueError):
+            BeamformingApp(sensor_tiles=[1, 2], collector_tile=2)
+
+    def test_distinct_sensors(self):
+        with pytest.raises(ValueError):
+            BeamformingApp(sensor_tiles=[1, 1], collector_tile=0)
+
+    def test_frame_interval_validation(self):
+        with pytest.raises(ValueError):
+            BeamformingApp(
+                sensor_tiles=[1], collector_tile=0, frame_interval=0
+            )
+
+    def test_frame_interval_paces_emission(self):
+        app = BeamformingApp(
+            sensor_tiles=[0],
+            collector_tile=15,
+            n_frames=3,
+            n_samples=16,
+            frame_interval=4,
+        )
+        sim = NocSimulator(Mesh2D(4, 4), FloodingProtocol(), seed=0)
+        app.deploy(sim)
+        sim.run(60, until=lambda s: app.collector.complete)
+        rounds = app.collector.frame_completion_round
+        # Frames emitted at rounds 0, 4, 8 -> completions 4 apart.
+        assert rounds[1] - rounds[0] == 4
+        assert rounds[2] - rounds[1] == 4

@@ -1,0 +1,195 @@
+"""Tests for the parallel 2-D FFT (§4.1.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.fft2d import (
+    Fft2dApp,
+    decimate_quadrants,
+    fft2_radix2,
+    fft_radix2,
+    recombine_quadrants,
+)
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.faults import CrashPlan
+from repro.noc.engine import NocSimulator
+from repro.noc.topology import Mesh2D
+
+
+def _direct_dft(x):
+    n = len(x)
+    k = np.arange(n).reshape(-1, 1)
+    j = np.arange(n).reshape(1, -1)
+    return (np.exp(-2j * np.pi * k * j / n) @ x.reshape(-1, 1)).ravel()
+
+
+class TestKernel:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256])
+    def test_matches_direct_dft(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft_radix2(x), _direct_dft(x))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft_radix2(np.zeros(6))
+        with pytest.raises(ValueError):
+            fft_radix2(np.zeros(0))
+
+    def test_2d_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        image = rng.normal(size=(16, 16))
+        assert np.allclose(fft2_radix2(image), np.fft.fft2(image))
+
+    def test_2d_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            fft2_radix2(np.zeros(8))
+
+    def test_linearity(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=32)
+        y = rng.normal(size=32)
+        assert np.allclose(
+            fft_radix2(2 * x + 3 * y),
+            2 * fft_radix2(x) + 3 * fft_radix2(y),
+        )
+
+    def test_parseval(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=64)
+        spectrum = fft_radix2(x)
+        assert np.sum(np.abs(x) ** 2) == pytest.approx(
+            np.sum(np.abs(spectrum) ** 2) / 64
+        )
+
+
+class TestDecimation:
+    def test_quadrants_partition(self):
+        image = np.arange(64).reshape(8, 8).astype(float)
+        quads = decimate_quadrants(image)
+        assert set(quads) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert quads[(0, 0)][0, 0] == image[0, 0]
+        assert quads[(1, 1)][0, 0] == image[1, 1]
+        total = sum(q.size for q in quads.values())
+        assert total == image.size
+
+    def test_recombine_inverts(self):
+        rng = np.random.default_rng(3)
+        image = rng.normal(size=(8, 8))
+        quads = decimate_quadrants(image)
+        sub_ffts = {q: fft2_radix2(s) for q, s in quads.items()}
+        assert np.allclose(
+            recombine_quadrants(sub_ffts, 8), np.fft.fft2(image)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decimate_quadrants(np.zeros((3, 3)))  # odd
+        with pytest.raises(ValueError):
+            recombine_quadrants({(0, 0): np.zeros((2, 3))}, 4)
+
+
+class TestApp:
+    def test_end_to_end_fault_free(self):
+        rng = np.random.default_rng(4)
+        image = rng.normal(size=(8, 8))
+        app = Fft2dApp(image)
+        sim = NocSimulator(Mesh2D(4, 4), StochasticProtocol(0.5), seed=0)
+        app.deploy(sim)
+        result = sim.run(200, until=lambda s: app.root.complete)
+        assert result.completed
+        assert np.allclose(app.result, np.fft.fft2(image))
+
+    def test_latency_in_thesis_band(self):
+        # Thesis §4.1.3: 5-8 rounds at p = 0.5 for FFT2.
+        rounds = []
+        for seed in range(5):
+            image = np.random.default_rng(seed).normal(size=(4, 4))
+            app = Fft2dApp(image)
+            sim = NocSimulator(Mesh2D(4, 4), StochasticProtocol(0.5), seed=seed)
+            app.deploy(sim)
+            result = sim.run(100, until=lambda s: app.root.complete)
+            assert app.root.complete
+            rounds.append(result.rounds)
+        assert 3 <= sum(rounds) / len(rounds) <= 12
+
+    def test_survives_primary_worker_crashes(self):
+        image = np.random.default_rng(5).normal(size=(8, 8))
+        app = Fft2dApp(image, duplicate=True)
+        primaries = frozenset(
+            replicas[0] for replicas in app.root.worker_tiles.values()
+        )
+        sim = NocSimulator(
+            Mesh2D(4, 4),
+            FloodingProtocol(),
+            seed=6,
+            crash_plan=CrashPlan(dead_tiles=primaries),
+        )
+        app.deploy(sim)
+        sim.run(200, until=lambda s: app.root.complete)
+        assert app.root.complete
+        assert np.allclose(app.result, np.fft.fft2(image))
+
+    def test_unduplicated_fails_on_worker_crash(self):
+        image = np.random.default_rng(7).normal(size=(8, 8))
+        app = Fft2dApp(image, duplicate=False)
+        dead = frozenset({app.root.worker_tiles[(0, 0)][0]})
+        sim = NocSimulator(
+            Mesh2D(4, 4),
+            FloodingProtocol(),
+            seed=8,
+            crash_plan=CrashPlan(dead_tiles=dead),
+        )
+        app.deploy(sim)
+        result = sim.run(60, until=lambda s: app.root.complete)
+        assert not result.completed
+        assert len(app.root.sub_ffts) == 3
+
+    def test_result_raises_until_complete(self):
+        app = Fft2dApp(np.zeros((4, 4)))
+        with pytest.raises(RuntimeError):
+            _ = app.result
+
+
+class TestValidation:
+    def test_image_must_be_power_of_two_square(self):
+        with pytest.raises(ValueError):
+            Fft2dApp(np.zeros((6, 6)))
+        with pytest.raises(ValueError):
+            Fft2dApp(np.zeros((4, 8)))
+
+    def test_worker_tiles_must_cover_quadrants(self):
+        with pytest.raises(ValueError):
+            Fft2dApp(np.zeros((4, 4)), worker_tiles={(0, 0): [1]})
+
+    def test_worker_on_root_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            Fft2dApp(
+                np.zeros((4, 4)),
+                root_tile=5,
+                worker_tiles={
+                    (0, 0): [5],
+                    (0, 1): [1],
+                    (1, 0): [2],
+                    (1, 1): [3],
+                },
+            )
+
+
+@given(
+    image=arrays(
+        np.float64,
+        (8, 8),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_property_parallel_decomposition_exact(image):
+    quads = decimate_quadrants(image)
+    sub_ffts = {q: fft2_radix2(s) for q, s in quads.items()}
+    assert np.allclose(
+        recombine_quadrants(sub_ffts, 8), np.fft.fft2(image), atol=1e-8
+    )

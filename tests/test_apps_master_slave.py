@@ -1,0 +1,151 @@
+"""Tests for the Master-Slave pi computation (§4.1.1)."""
+
+import math
+
+import pytest
+
+from repro.apps.master_slave import MasterSlavePiApp, pi_partial_sum
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.faults import CrashPlan
+from repro.noc.engine import NocSimulator
+from repro.noc.topology import Mesh2D
+
+
+class TestPartialSum:
+    def test_full_range_approximates_pi(self):
+        assert pi_partial_sum(0, 50_000, 50_000) == pytest.approx(
+            math.pi, abs=1e-8
+        )
+
+    def test_partition_sums_to_whole(self):
+        n = 1000
+        whole = pi_partial_sum(0, n, n)
+        parts = sum(
+            pi_partial_sum(lo, lo + 250, n) for lo in range(0, n, 250)
+        )
+        assert parts == pytest.approx(whole)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pi_partial_sum(5, 3, 10)
+        with pytest.raises(ValueError):
+            pi_partial_sum(0, 20, 10)
+
+
+class TestDefaultLayout:
+    def test_tile_assignment(self):
+        app = MasterSlavePiApp.default_5x5()
+        tiles = [p.tile_id for p in app.placements()]
+        assert len(tiles) == len(set(tiles)) == 17  # master + 8*2 replicas
+        assert app.master_tile == 12
+
+    def test_unduplicated_layout(self):
+        app = MasterSlavePiApp.default_5x5(duplicate=False)
+        assert len(app.placements()) == 9
+
+    def test_term_ranges_partition(self):
+        app = MasterSlavePiApp.default_5x5(n_terms=1000)
+        ranges = [app.master.term_range(k) for k in range(8)]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 1000
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            MasterSlavePiApp.default_5x5(n_slaves=0)
+        with pytest.raises(ValueError):
+            MasterSlavePiApp.default_5x5(n_slaves=13, duplicate=True)
+
+
+class TestExecution:
+    def test_computes_pi_fault_free(self):
+        app = MasterSlavePiApp.default_5x5(n_terms=2000)
+        sim = NocSimulator(Mesh2D(5, 5), StochasticProtocol(0.5), seed=0)
+        app.deploy(sim)
+        sim.run(200, until=lambda s: app.master.complete)
+        assert app.complete
+        assert app.pi_error < 1e-6
+
+    def test_latency_in_thesis_band(self):
+        # Thesis §4.1.3: 6-9 rounds at p = 0.5 for Master-Slave.
+        rounds = []
+        for seed in range(5):
+            app = MasterSlavePiApp.default_5x5(n_terms=200)
+            sim = NocSimulator(Mesh2D(5, 5), StochasticProtocol(0.5), seed=seed)
+            app.deploy(sim)
+            result = sim.run(100, until=lambda s: app.master.complete)
+            assert app.complete
+            rounds.append(result.rounds)
+        assert 4 <= sum(rounds) / len(rounds) <= 14
+
+    def test_survives_replica_crash(self):
+        app = MasterSlavePiApp.default_5x5(n_terms=500)
+        # Kill the *primary* replica of every other slave (killing all
+        # eight primaries would isolate some surviving replicas, which is
+        # a connectivity failure, not a protocol one).
+        primaries = frozenset(
+            replicas[0]
+            for index, replicas in enumerate(app.master.slave_tiles)
+            if index % 2 == 0
+        )
+        assert Mesh2D(5, 5).is_connected(excluding=primaries)
+        sim = NocSimulator(
+            Mesh2D(5, 5),
+            FloodingProtocol(),
+            seed=1,
+            crash_plan=CrashPlan(dead_tiles=primaries),
+        )
+        app.deploy(sim)
+        sim.run(200, until=lambda s: app.master.complete)
+        assert app.complete
+        assert app.pi_error < 1e-6
+
+    def test_fails_when_both_replicas_die(self):
+        app = MasterSlavePiApp.default_5x5(n_terms=200)
+        dead = frozenset(app.master.slave_tiles[0])  # both replicas of slave 0
+        sim = NocSimulator(
+            Mesh2D(5, 5),
+            FloodingProtocol(),
+            seed=2,
+            crash_plan=CrashPlan(dead_tiles=dead),
+        )
+        app.deploy(sim)
+        result = sim.run(60, until=lambda s: app.master.complete)
+        assert not result.completed
+        assert len(app.master.partials) == 7
+
+    def test_duplication_does_not_add_unique_messages(self):
+        counts = {}
+        for duplicate in (False, True):
+            app = MasterSlavePiApp.default_5x5(n_terms=200, duplicate=duplicate)
+            sim = NocSimulator(Mesh2D(5, 5), StochasticProtocol(0.5), seed=3)
+            app.deploy(sim)
+            sim.run(200, until=lambda s: app.master.complete)
+            counts[duplicate] = sim.stats.unique_messages_created
+        assert counts[False] == counts[True] == 16  # 8 tasks + 8 results
+
+    def test_pi_estimate_raises_until_complete(self):
+        app = MasterSlavePiApp.default_5x5()
+        with pytest.raises(RuntimeError, match="partials"):
+            _ = app.pi_estimate
+
+    def test_critical_tiles_only_master(self):
+        app = MasterSlavePiApp.default_5x5()
+        assert app.critical_tiles == frozenset({12})
+
+
+class TestValidation:
+    def test_slave_on_master_tile_rejected(self):
+        with pytest.raises(ValueError, match="master"):
+            MasterSlavePiApp(master_tile=0, slave_tiles=[[0]])
+
+    def test_empty_slaves_rejected(self):
+        with pytest.raises(ValueError):
+            MasterSlavePiApp(master_tile=0, slave_tiles=[])
+        with pytest.raises(ValueError):
+            MasterSlavePiApp(master_tile=0, slave_tiles=[[]])
+
+    def test_too_few_terms_rejected(self):
+        with pytest.raises(ValueError):
+            MasterSlavePiApp(master_tile=0, slave_tiles=[[1], [2]], n_terms=1)

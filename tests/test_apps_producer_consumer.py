@@ -1,0 +1,67 @@
+"""Tests for the Producer-Consumer example (§3.2.1, Fig 3-3)."""
+
+import pytest
+
+from repro.apps import ProducerConsumerApp, run_on_noc
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.noc.engine import NocSimulator
+from repro.noc.topology import Mesh2D
+
+
+class TestSingleItem:
+    def test_flooding_latency_optimal(self):
+        app = ProducerConsumerApp(producer_tile=5, consumer_tile=11)
+        sim = NocSimulator(Mesh2D(4, 4), FloodingProtocol(), seed=0)
+        result = run_on_noc(app, sim)
+        assert result.completed
+        # Producer emits in round 0 (on_round), so arrival round equals
+        # the Manhattan distance (3 for tiles 5 -> 11).
+        assert app.consumer.arrival_rounds[0] == 3
+
+    def test_stochastic_delivers(self):
+        app = ProducerConsumerApp()
+        sim = NocSimulator(Mesh2D(4, 4), StochasticProtocol(0.5), seed=1)
+        result = run_on_noc(app, sim, max_rounds=200)
+        assert result.completed
+        assert app.consumer.items_received == 1
+
+
+class TestStreaming:
+    def test_all_items_arrive_in_order_keys(self):
+        app = ProducerConsumerApp(n_items=10)
+        sim = NocSimulator(Mesh2D(4, 4), StochasticProtocol(0.6), seed=2)
+        result = run_on_noc(app, sim, max_rounds=400)
+        assert result.completed
+        assert sorted(app.consumer.arrival_rounds) == list(range(10))
+
+    def test_per_item_latency(self):
+        app = ProducerConsumerApp(n_items=5)
+        sim = NocSimulator(Mesh2D(4, 4), FloodingProtocol(), seed=3)
+        run_on_noc(app, sim, max_rounds=100)
+        latencies = app.consumer.per_item_latency()
+        assert all(latency >= 3 for latency in latencies.values())
+
+    def test_payload_size_respected(self):
+        app = ProducerConsumerApp(n_items=2, item_bytes=64)
+        sim = NocSimulator(Mesh2D(4, 4), FloodingProtocol(), seed=4)
+        run_on_noc(app, sim, max_rounds=100)
+        assert app.producer.item_bytes == 64
+
+
+class TestValidation:
+    def test_same_tile_rejected(self):
+        with pytest.raises(ValueError):
+            ProducerConsumerApp(producer_tile=3, consumer_tile=3)
+
+    def test_item_count_positive(self):
+        with pytest.raises(ValueError):
+            ProducerConsumerApp(n_items=0)
+
+    def test_item_bytes_minimum(self):
+        with pytest.raises(ValueError):
+            ProducerConsumerApp(item_bytes=2)
+
+    def test_placements(self):
+        app = ProducerConsumerApp(producer_tile=0, consumer_tile=15)
+        tiles = [p.tile_id for p in app.placements()]
+        assert tiles == [0, 15]

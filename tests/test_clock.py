@@ -1,0 +1,73 @@
+"""Tests for per-tile clock domains."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, FaultInjector
+from repro.noc.clock import ClockDomain
+
+
+def _clock(sigma=0.0, seed=0, period=1.0):
+    injector = FaultInjector(FaultConfig(sigma_synchr=sigma), seed)
+    return ClockDomain(period, injector)
+
+
+class TestNoSkew:
+    def test_exact_boundaries(self):
+        clock = _clock()
+        assert clock.round_start(0) == 0.0
+        assert clock.round_end(0) == 1.0
+        assert clock.round_start(5) == 5.0
+        assert clock.round_end(5) == 6.0
+
+    def test_first_round_at_or_after(self):
+        clock = _clock()
+        assert clock.first_round_starting_at_or_after(0.0) == 0
+        assert clock.first_round_starting_at_or_after(0.5) == 1
+        assert clock.first_round_starting_at_or_after(3.0) == 3
+        assert clock.first_round_starting_at_or_after(3.0001) == 4
+
+    def test_elapsed(self):
+        assert _clock().elapsed_through(9) == 10.0
+
+
+class TestWithSkew:
+    def test_boundaries_monotone(self):
+        clock = _clock(sigma=0.3, seed=1)
+        boundaries = [clock.round_start(k) for k in range(200)]
+        assert all(b < a for b, a in zip(boundaries, boundaries[1:]))
+
+    def test_durations_near_nominal(self):
+        clock = _clock(sigma=0.1, seed=2)
+        durations = [
+            clock.round_end(k) - clock.round_start(k) for k in range(500)
+        ]
+        assert np.mean(durations) == pytest.approx(1.0, abs=0.03)
+        assert np.std(durations) == pytest.approx(0.1, abs=0.02)
+
+    def test_memoised(self):
+        clock = _clock(sigma=0.5, seed=3)
+        first = clock.round_end(10)
+        assert clock.round_end(10) == first  # no re-draw
+
+    def test_skew_slips_arrival_rounds(self):
+        # With heavy skew, a time that lands mid-round maps past it.
+        clock = _clock(sigma=0.4, seed=4)
+        index = clock.first_round_starting_at_or_after(7.3)
+        assert clock.round_start(index) >= 7.3
+        if index > 0:
+            assert clock.round_start(index - 1) < 7.3
+
+
+class TestValidation:
+    def test_rejects_bad_period(self):
+        injector = FaultInjector(FaultConfig(), 0)
+        with pytest.raises(ValueError):
+            ClockDomain(0.0, injector)
+
+    def test_rejects_negative_round(self):
+        clock = _clock()
+        with pytest.raises(ValueError):
+            clock.round_start(-1)
+        with pytest.raises(ValueError):
+            clock.round_end(-1)

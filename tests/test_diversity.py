@@ -1,0 +1,194 @@
+"""Tests for on-chip diversity (Ch. 5): islands, architectures, harness."""
+
+import pytest
+
+from repro.core.protocol import StochasticProtocol
+from repro.diversity import (
+    BusConnectedNocs,
+    CentralRouter,
+    FlatNoc,
+    HierarchicalNoc,
+    Island,
+    IslandPlan,
+    compare_architectures,
+)
+from repro.diversity.compare import run_workload
+from repro.noc import IPCore, Mesh2D, NocSimulator
+
+
+class TestIslands:
+    def test_scaling_laws(self):
+        island = Island("nano", frozenset({0, 1}), voltage_scale=0.5)
+        assert island.frequency_scale == 0.5
+        assert island.energy_scale == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Island("empty", frozenset())
+        with pytest.raises(ValueError):
+            Island("hot", frozenset({0}), voltage_scale=3.0)
+
+    def test_plan_rejects_overlap(self):
+        with pytest.raises(ValueError, match="multiple islands"):
+            IslandPlan(
+                [
+                    Island("a", frozenset({0, 1})),
+                    Island("b", frozenset({1, 2})),
+                ]
+            )
+
+    def test_island_lookup(self):
+        plan = IslandPlan([Island("a", frozenset({0, 1}), 0.8)])
+        assert plan.island_of(0).name == "a"
+        assert plan.island_of(9) is None
+        assert plan.tile_frequency_scale(0) == 0.8
+        assert plan.tile_frequency_scale(9) == 1.0
+
+    def test_link_energy_overrides(self):
+        plan = IslandPlan([Island("slow", frozenset({0}), 0.5)])
+        overrides = plan.link_energy_overrides([(0, 1), (1, 0)], 4e-10)
+        # Driven by the source island: only 0 -> 1 scales (by 0.25).
+        assert overrides == {(0, 1): pytest.approx(1e-10)}
+
+    def test_link_delay_overrides(self):
+        plan = IslandPlan([Island("slow", frozenset({0}), 0.5)])
+        delays = plan.link_delay_overrides([(0, 1), (1, 0), (1, 2)])
+        # Both directions touching the slow island slow down 2x.
+        assert delays == {(0, 1): 2, (1, 0): 2}
+
+    def test_islands_drive_simulation(self):
+        plan = IslandPlan([Island("slow", frozenset({0, 1}), 0.5)])
+        mesh = Mesh2D(2, 2)
+
+        class Ping(IPCore):
+            def __init__(self):
+                self.done = False
+
+            def on_start(self, ctx):
+                ctx.send(3, b"x")
+                self.done = True
+
+            @property
+            def complete(self):
+                return self.done
+
+        class Pong(IPCore):
+            def __init__(self):
+                self.got = False
+
+            def on_receive(self, ctx, packet):
+                self.got = True
+
+            @property
+            def complete(self):
+                return self.got
+
+        sim = NocSimulator(
+            mesh,
+            StochasticProtocol(1.0),
+            seed=0,
+            link_delays=plan.link_delay_overrides(mesh.links),
+            link_energy_overrides=plan.link_energy_overrides(
+                mesh.links, 2.4e-10
+            ),
+        )
+        sim.mount(0, Ping())
+        pong = Pong()
+        sim.mount(3, pong)
+        result = sim.run(20)
+        assert result.completed
+        # Crossing the slow island costs at least one extra round vs the
+        # Manhattan distance of 2.
+        assert result.rounds >= 3
+
+
+class TestArchitectureBuilders:
+    @pytest.mark.parametrize(
+        "architecture",
+        [FlatNoc(6), HierarchicalNoc(3), BusConnectedNocs(3), CentralRouter(3)],
+        ids=lambda a: type(a).__name__,
+    )
+    def test_specs_are_sane(self, architecture):
+        spec = architecture.build()
+        topo = spec.topology
+        assert topo.is_connected()
+        assert spec.collector_tile in topo.tile_ids
+        assert all(t in topo.tile_ids for t in spec.sensor_tiles)
+        assert spec.collector_tile not in spec.sensor_tiles
+        for link in spec.link_delays:
+            assert link in topo.links
+        for link in spec.link_energy_overrides:
+            assert link in topo.links
+
+    def test_clustered_aggregation_partitions_sensors(self):
+        for architecture in (HierarchicalNoc(3), BusConnectedNocs(3), CentralRouter(3)):
+            spec = architecture.build()
+            covered = sorted(
+                t for tiles in spec.aggregation.values() for t in tiles
+            )
+            assert covered == sorted(spec.sensor_tiles)
+
+    def test_flat_has_no_aggregation(self):
+        assert FlatNoc(6).build().aggregation is None
+
+    def test_bus_bridge_configured(self):
+        spec = BusConnectedNocs(3).build()
+        assert len(spec.bus_tiles) == 1
+        bridge = next(iter(spec.bus_tiles))
+        assert spec.egress_limits[bridge] >= 1
+        assert all(
+            bridge in link for link in spec.link_delays
+        )
+
+    def test_tile_counts_match(self):
+        # Flat 6x6 matches 4 clusters of 3x3 (+1 hub for bus/router).
+        assert FlatNoc(6).build().topology.n_tiles == 36
+        assert HierarchicalNoc(3).build().topology.n_tiles == 36
+        assert BusConnectedNocs(3).build().topology.n_tiles == 37
+        assert CentralRouter(3).build().topology.n_tiles == 37
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlatNoc(1)
+        with pytest.raises(ValueError):
+            HierarchicalNoc(1)
+        with pytest.raises(ValueError):
+            BusConnectedNocs(3, bus_delay_rounds=0)
+        with pytest.raises(ValueError):
+            BusConnectedNocs(3, bus_grants_per_round=0)
+
+
+class TestComparison:
+    def test_single_workload_run(self):
+        spec = HierarchicalNoc(2).build()
+        completed, rounds, time_s, transmissions, energy = run_workload(
+            spec, n_sensors=6, n_frames=1, seed=0, max_rounds=1500
+        )
+        assert completed
+        assert rounds > 0
+        assert transmissions > 0
+        assert energy > 0
+
+    def test_sensor_oversubscription_rejected(self):
+        spec = HierarchicalNoc(2).build()
+        with pytest.raises(ValueError, match="sensor tiles"):
+            run_workload(spec, n_sensors=100)
+
+    def test_fig5_3_shape(self):
+        # Small but real: flat best latency; hierarchical no worse on
+        # transmissions than flat under the streaming load.
+        rows = compare_architectures(
+            [FlatNoc(4), HierarchicalNoc(2)],
+            n_sensors=8,
+            n_frames=3,
+            frame_interval=2,
+            repetitions=2,
+            max_rounds=2000,
+        )
+        flat, hierarchical = rows
+        assert flat.completed and hierarchical.completed
+        assert flat.latency_rounds <= hierarchical.latency_rounds
+
+    def test_repetitions_validation(self):
+        with pytest.raises(ValueError):
+            compare_architectures([FlatNoc(4)], repetitions=0)

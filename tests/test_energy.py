@@ -1,0 +1,116 @@
+"""Tests for the §3.3 metrics and §4.1.4 technology constants."""
+
+import pytest
+
+from repro.energy import (
+    TECH_025UM,
+    EnergyBreakdown,
+    TechnologyLibrary,
+    communication_energy_j,
+    energy_delay_product,
+    round_duration_s,
+)
+from repro.noc.link import DEFAULT_LINK, LinkModel
+
+
+class TestRoundDuration:
+    def test_eq2(self):
+        # T_R = N * S / f
+        assert round_duration_s(2, 500, 1e9) == pytest.approx(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            round_duration_s(0, 1, 1)
+        with pytest.raises(ValueError):
+            round_duration_s(1, 0, 1)
+        with pytest.raises(ValueError):
+            round_duration_s(1, 1, 0)
+
+
+class TestCommunicationEnergy:
+    def test_eq3(self):
+        assert communication_energy_j(100, 512, 2.4e-10) == pytest.approx(
+            100 * 512 * 2.4e-10
+        )
+
+    def test_zero_packets(self):
+        assert communication_energy_j(0, 512, 2.4e-10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            communication_energy_j(-1, 1, 1)
+        with pytest.raises(ValueError):
+            communication_energy_j(1, 0, 1)
+        with pytest.raises(ValueError):
+            communication_energy_j(1, 1, -1)
+
+
+class TestEnergyDelay:
+    def test_product(self):
+        assert energy_delay_product(2e-10, 3e-6) == pytest.approx(6e-16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_delay_product(-1, 1)
+
+
+class TestTechnologyLibrary:
+    def test_thesis_constants(self):
+        assert TECH_025UM.link_frequency_hz == pytest.approx(381e6)
+        assert TECH_025UM.link_energy_per_bit_j == pytest.approx(2.4e-10)
+        assert TECH_025UM.bus_frequency_hz == pytest.approx(43e6)
+        assert TECH_025UM.bus_energy_per_bit_j == pytest.approx(21.6e-10)
+
+    def test_link_advantage(self):
+        # The short link beats the chip-length bus on both axes (§4.1.4).
+        assert TECH_025UM.link_frequency_hz / TECH_025UM.bus_frequency_hz > 8
+        assert (
+            TECH_025UM.bus_energy_per_bit_j / TECH_025UM.link_energy_per_bit_j
+            == pytest.approx(9.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TechnologyLibrary("bad", 0, 1, 1, 1)
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        breakdown = EnergyBreakdown(computation_j=3.0, communication_j=1.0)
+        assert breakdown.total_j == 4.0
+        assert breakdown.communication_fraction == 0.25
+
+    def test_zero_total(self):
+        assert EnergyBreakdown(0.0, 0.0).communication_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown(-1.0, 0.0)
+
+
+class TestLinkModel:
+    def test_thesis_defaults(self):
+        assert DEFAULT_LINK.frequency_hz == pytest.approx(381e6)
+        assert DEFAULT_LINK.energy_per_bit_j == pytest.approx(2.4e-10)
+
+    def test_transfer_time_ceil(self):
+        link = LinkModel(frequency_hz=1e6, width_bits=32)
+        assert link.transfer_time_s(32) == pytest.approx(1e-6)
+        assert link.transfer_time_s(33) == pytest.approx(2e-6)
+        assert link.transfer_time_s(0) == 0.0
+
+    def test_transfer_energy(self):
+        link = LinkModel(energy_per_bit_j=2e-10)
+        assert link.transfer_energy_j(1000) == pytest.approx(2e-7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(frequency_hz=0)
+        with pytest.raises(ValueError):
+            LinkModel(energy_per_bit_j=-1)
+        with pytest.raises(ValueError):
+            LinkModel(width_bits=0)
+        with pytest.raises(ValueError):
+            DEFAULT_LINK.transfer_time_s(-1)
+        with pytest.raises(ValueError):
+            DEFAULT_LINK.transfer_energy_j(-1)

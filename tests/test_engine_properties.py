@@ -1,0 +1,166 @@
+"""Property-based invariants of the simulation engine (hypothesis).
+
+These fuzz the engine over random topology sizes, forwarding
+probabilities, fault levels and seeds, asserting the structural
+invariants that must hold regardless of the draw.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packet import BROADCAST
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.faults import FaultConfig
+from repro.noc import Mesh2D, NocSimulator, RingTopology
+from tests.test_engine import OneShotProducer, Sink
+
+
+@given(
+    rows=st.integers(min_value=2, max_value=4),
+    cols=st.integers(min_value=2, max_value=4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_flooding_always_delivers_within_distance(rows, cols, seed):
+    mesh = Mesh2D(rows, cols)
+    src, dst = 0, mesh.n_tiles - 1
+    sim = NocSimulator(mesh, FloodingProtocol(), seed=seed)
+    sink = Sink()
+    sim.mount(src, OneShotProducer(dst))
+    sim.mount(dst, sink)
+    result = sim.run(mesh.diameter() + 2)
+    assert result.completed
+    assert result.rounds == mesh.manhattan_distance(src, dst)
+
+
+@given(
+    p=st.floats(min_value=0.2, max_value=1.0),
+    p_upset=st.floats(min_value=0.0, max_value=0.6),
+    p_overflow=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_accounting_invariants(p, p_upset, p_overflow, seed):
+    sim = NocSimulator(
+        Mesh2D(3, 3),
+        StochasticProtocol(p),
+        FaultConfig(p_upset=p_upset, p_overflow=p_overflow),
+        seed=seed,
+        default_ttl=10,
+    )
+    sink = Sink()
+    sim.mount(0, OneShotProducer(8))
+    sim.mount(8, sink)
+    stats = sim.run(15, until=lambda s: False).stats
+    # Conservation: every attempt either delivered or died on a link.
+    assert (
+        stats.transmissions_attempted
+        == stats.transmissions_delivered + stats.dead_link_drops
+    )
+    # Upsets: injected >= detected + escaped (overflow can eat some first).
+    assert stats.upsets_injected >= stats.upsets_detected + stats.upsets_escaped
+    # Bits are a whole number of delivered packets' worth.
+    if stats.transmissions_delivered:
+        assert stats.bits_transmitted % stats.transmissions_delivered == 0
+    # The per-round histogram sums to the total.
+    assert (
+        sum(stats.per_round_transmissions.values())
+        == stats.transmissions_delivered
+    )
+    assert stats.unique_messages_created == 1
+    assert 0.0 <= stats.delivery_ratio <= 1.0
+
+
+@given(
+    p=st.floats(min_value=0.3, max_value=1.0),
+    seed=st.integers(0, 10_000),
+    n=st.integers(min_value=4, max_value=10),
+)
+@settings(max_examples=25, deadline=None)
+def test_broadcast_informs_monotonically(p, seed, n):
+    ring = RingTopology(n)
+    sim = NocSimulator(ring, StochasticProtocol(p), seed=seed, default_ttl=40)
+    sim.mount(0, OneShotProducer(BROADCAST, ttl=40))
+    result = sim.run(60, until=lambda s: len(s.informed_tiles()) == n)
+    # With generous TTL, a connected ring always saturates.
+    assert result.completed
+    # per_round_informed sums to n - 1 newly informed relays + origin.
+    informed_total = 1 + sum(result.stats.per_round_informed.values())
+    assert informed_total == n
+
+
+@given(seed=st.integers(0, 10_000), p=st.floats(min_value=0.2, max_value=1.0))
+@settings(max_examples=20, deadline=None)
+def test_determinism_property(seed, p):
+    def run_once():
+        sim = NocSimulator(
+            Mesh2D(3, 3),
+            StochasticProtocol(p),
+            FaultConfig(p_upset=0.2, sigma_synchr=0.1),
+            seed=seed,
+            default_ttl=12,
+        )
+        sink = Sink()
+        sim.mount(0, OneShotProducer(8))
+        sim.mount(8, sink)
+        result = sim.run(40)
+        return (
+            result.completed,
+            result.rounds,
+            result.stats.transmissions_delivered,
+            result.time_s,
+        )
+
+    assert run_once() == run_once()
+
+
+@given(
+    sigma=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_wall_clock_exceeds_round_count_times_period(sigma, seed):
+    sim = NocSimulator(
+        Mesh2D(3, 3),
+        FloodingProtocol(),
+        FaultConfig(sigma_synchr=sigma),
+        seed=seed,
+    )
+    sink = Sink()
+    sim.mount(0, OneShotProducer(8))
+    sim.mount(8, sink)
+    result = sim.run(30)
+    assert result.completed
+    assert result.time_s > 0
+    assert np.isfinite(result.time_s)
+    # Completion time is at least the slowest tile's elapsed rounds; with
+    # no skew it is exactly (rounds + 1) * T_R.
+    if sigma == 0.0:
+        expected = (result.rounds + 1) * sim.nominal_round_s
+        assert result.time_s == expected
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    seed=st.integers(0, 5000),
+)
+@settings(max_examples=20, deadline=None)
+def test_buffer_capacity_never_exceeded(capacity, seed):
+    sim = NocSimulator(
+        Mesh2D(3, 3),
+        FloodingProtocol(),
+        seed=seed,
+        buffer_capacity=capacity,
+    )
+
+    class Chatty(OneShotProducer):
+        def on_round(self, ctx):
+            if ctx.round_index < 6:
+                ctx.send(BROADCAST, bytes([ctx.round_index]), ttl=10)
+
+    sim.mount(0, Chatty(BROADCAST))
+    sim.run(10, until=lambda s: False)
+    assert all(
+        len(tile.send_buffer) <= capacity for tile in sim.tiles.values()
+    )

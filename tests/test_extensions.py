@@ -1,0 +1,113 @@
+"""Tests for the beyond-the-paper extensions: VBR mode, link-crash sweep,
+island experiment, mid-run API exports."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import islands, link_crashes
+from repro.mp3 import Mp3Decoder, Mp3Encoder, PcmSource, reconstruction_snr_db
+
+
+class TestVbrMode:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            Mp3Encoder(mode="abr")
+
+    def test_vbr_rate_follows_content(self):
+        # A pure tone is dramatically cheaper to code transparently than
+        # wideband noise; CBR would pin both to the same rate.  Full-size
+        # granules give the frequency resolution that makes the tone
+        # cheap (it smears across bands at small granules).
+        rates = {}
+        for kind in ("tone", "noise"):
+            source = PcmSource(3, kind, seed=1, granule=576)
+            frames = Mp3Encoder(mode="vbr", granule=576).encode(source)
+            rates[kind] = Mp3Encoder.measured_bitrate_bps(
+                frames, granule=576
+            )
+        assert rates["tone"] < 0.5 * rates["noise"]
+
+    def test_vbr_decodes(self):
+        source = PcmSource(4, "mixture", seed=2, granule=288)
+        frames = Mp3Encoder(mode="vbr", granule=288).encode(source)
+        reconstruction = Mp3Decoder(288).decode(
+            {f.frame_index: f for f in frames}, 4
+        )
+        snr = reconstruction_snr_db(source.all_frames(), reconstruction)
+        assert snr > 5.0
+
+    def test_vbr_meets_mask_everywhere(self):
+        from repro.mp3.psychoacoustic import PsychoacousticModel
+        from repro.mp3.quantizer import RateLoopQuantizer
+
+        model = PsychoacousticModel(144)
+        rng = np.random.default_rng(3)
+        t = np.arange(144) / 44100
+        samples = 0.5 * np.sin(2 * np.pi * 1000 * t) + 0.02 * rng.normal(size=144)
+        psycho = model.analyze(samples)
+        spectrum = rng.normal(size=144) * 0.1
+        granule = RateLoopQuantizer().quantize_vbr(spectrum, psycho)
+        assert np.all(
+            granule.band_distortion <= psycho.allowed_distortion() * (1 + 1e-9)
+        )
+
+    def test_vbr_picks_the_coarsest_transparent_gain(self):
+        # One gain step coarser must violate the mask somewhere (else the
+        # bisection would have chosen it and spent fewer bits).
+        from repro.mp3.psychoacoustic import PsychoacousticModel
+        from repro.mp3.quantizer import RateLoopQuantizer
+
+        model = PsychoacousticModel(144)
+        rng = np.random.default_rng(4)
+        spectrum = rng.normal(size=144) * 0.05
+        psycho = model.analyze(0.3 * np.sin(np.arange(144)))
+        quantizer = RateLoopQuantizer()
+        vbr = quantizer.quantize_vbr(spectrum, psycho)
+        assert np.all(vbr.band_distortion <= psycho.allowed_distortion())
+        coarser_gain = vbr.global_gain + 1
+        if coarser_gain <= quantizer.gain_range[1]:
+            values = quantizer.quantize_at(
+                spectrum, coarser_gain, np.ones(144)
+            )
+            reconstructed = quantizer.dequantize(
+                values,
+                coarser_gain,
+                np.zeros(psycho.n_bands, dtype=np.int64),
+                psycho.band_edges,
+            )
+            distortion = quantizer._band_noise(
+                spectrum, reconstructed, psycho.band_edges
+            )
+            assert np.any(distortion > psycho.allowed_distortion())
+
+
+class TestLinkCrashSweep:
+    def test_gentle_degradation(self):
+        points = link_crashes.run(
+            dead_link_counts=(0, 8, 16), repetitions=3
+        )
+        clean, mid, heavy = points
+        assert clean.completion_rate == 1.0
+        assert mid.completion_rate >= 0.6
+        # Drops grow with dead links; latency grows only mildly.
+        assert heavy.dead_link_drops > mid.dead_link_drops > 0
+        assert heavy.latency_rounds < 4 * max(clean.latency_rounds, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            link_crashes.run(repetitions=0)
+
+
+class TestIslandExperiment:
+    def test_identity_partition_is_neutral(self):
+        comparison = islands.run(island_voltage=1.0, repetitions=2)
+        assert comparison.energy_saving == pytest.approx(0.0, abs=1e-9)
+
+    def test_undervolting_saves_energy(self):
+        comparison = islands.run(island_voltage=0.6, repetitions=3)
+        assert comparison.energy_saving > 0.15
+        assert comparison.islanded_energy_j < comparison.uniform_energy_j
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            islands.run(repetitions=0)

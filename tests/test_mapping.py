@@ -1,0 +1,153 @@
+"""Tests for energy-aware IP mapping (§4.1.3's mapping-sensitivity note)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.master_slave import MasterSlavePiApp
+from repro.core.protocol import StochasticProtocol
+from repro.noc.engine import NocSimulator
+from repro.noc.mapping import (
+    CommunicationGraph,
+    anneal_mapping,
+    greedy_mapping,
+    mapping_cost,
+    master_slave_graph,
+    random_mapping,
+)
+from repro.noc.topology import Mesh2D
+
+
+class TestCommunicationGraph:
+    def test_add_accumulates(self):
+        graph = CommunicationGraph(["a", "b"])
+        graph.add("a", "b", 2.0)
+        graph.add("a", "b", 3.0)
+        assert graph.demands[("a", "b")] == 5.0
+        assert graph.total_demand == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unique"):
+            CommunicationGraph(["a", "a"])
+        with pytest.raises(ValueError, match="unknown"):
+            CommunicationGraph(["a"], {("a", "z"): 1.0})
+        with pytest.raises(ValueError, match="self-demand"):
+            CommunicationGraph(["a", "b"], {("a", "a"): 1.0})
+        with pytest.raises(ValueError, match="negative"):
+            CommunicationGraph(["a", "b"], {("a", "b"): -1.0})
+        graph = CommunicationGraph(["a", "b"])
+        with pytest.raises(ValueError):
+            graph.add("a", "z", 1.0)
+
+    def test_master_slave_graph(self):
+        graph = master_slave_graph(4)
+        assert len(graph.ips) == 5
+        assert graph.total_demand == 8.0
+
+
+class TestCost:
+    def test_known_cost(self):
+        mesh = Mesh2D(3, 3)
+        graph = CommunicationGraph(["a", "b"], {("a", "b"): 2.0})
+        assert mapping_cost(mesh, {"a": 0, "b": 8}, graph) == 2.0 * 4
+        assert mapping_cost(mesh, {"a": 0, "b": 1}, graph) == 2.0
+
+    def test_rejects_incomplete_or_overlapping(self):
+        mesh = Mesh2D(3, 3)
+        graph = CommunicationGraph(["a", "b"], {("a", "b"): 1.0})
+        with pytest.raises(ValueError, match="misses"):
+            mapping_cost(mesh, {"a": 0}, graph)
+        with pytest.raises(ValueError, match="share"):
+            mapping_cost(mesh, {"a": 0, "b": 0}, graph)
+
+
+class TestMappers:
+    def _setup(self):
+        return master_slave_graph(8), Mesh2D(5, 5)
+
+    def test_random_mapping_valid(self):
+        graph, mesh = self._setup()
+        mapping = random_mapping(graph, mesh, 0)
+        assert set(mapping) == set(graph.ips)
+        assert len(set(mapping.values())) == 9
+
+    def test_greedy_beats_average_random(self):
+        graph, mesh = self._setup()
+        greedy_cost = mapping_cost(mesh, greedy_mapping(graph, mesh), graph)
+        random_costs = [
+            mapping_cost(mesh, random_mapping(graph, mesh, seed), graph)
+            for seed in range(20)
+        ]
+        assert greedy_cost < np.mean(random_costs)
+
+    def test_greedy_is_optimal_for_master_slave(self):
+        # 8 symmetric slaves around a centred master: every slave can sit
+        # adjacent-or-diagonal; the weighted distance optimum is 12
+        # (4 neighbours at distance 1, 4 diagonals at distance 2, weight
+        # 2 per pair).
+        graph, mesh = self._setup()
+        greedy_cost = mapping_cost(mesh, greedy_mapping(graph, mesh), graph)
+        assert greedy_cost == 24.0
+
+    def test_annealing_never_worse_than_start(self):
+        graph, mesh = self._setup()
+        start = random_mapping(graph, mesh, 1)
+        start_cost = mapping_cost(mesh, start, graph)
+        annealed = anneal_mapping(
+            graph, mesh, iterations=500, seed=2, start=start
+        )
+        assert mapping_cost(mesh, annealed, graph) <= start_cost
+
+    def test_annealing_reaches_greedy_quality(self):
+        graph, mesh = self._setup()
+        annealed = anneal_mapping(graph, mesh, iterations=1500, seed=3)
+        greedy_cost = mapping_cost(mesh, greedy_mapping(graph, mesh), graph)
+        assert mapping_cost(mesh, annealed, graph) <= greedy_cost
+
+    def test_too_many_ips_rejected(self):
+        graph = CommunicationGraph(list(range(10)))
+        mesh = Mesh2D(3, 3)
+        with pytest.raises(ValueError, match="fit"):
+            random_mapping(graph, mesh, 0)
+        with pytest.raises(ValueError, match="fit"):
+            greedy_mapping(graph, mesh)
+
+    def test_anneal_validation(self):
+        graph, mesh = self._setup()
+        with pytest.raises(ValueError):
+            anneal_mapping(graph, mesh, iterations=0)
+        with pytest.raises(ValueError):
+            anneal_mapping(graph, mesh, cooling=1.5)
+
+
+class TestMappingDrivesSimulation:
+    def test_good_mapping_beats_bad_mapping_in_simulation(self):
+        # §4.1.3: measured latency depends on the placement.  Compare the
+        # greedy placement against a deliberately terrible one (master in
+        # a corner, slaves crowded at the far corner).
+        mesh = Mesh2D(5, 5)
+        graph = master_slave_graph(8)
+        good = greedy_mapping(graph, mesh)
+        bad = {"master": 0}
+        far = [24, 23, 19, 18, 22, 14, 17, 13]
+        for k in range(8):
+            bad[f"slave{k}"] = far[k]
+
+        def run_with(mapping, seed):
+            app = MasterSlavePiApp(
+                master_tile=mapping["master"],
+                slave_tiles=[[mapping[f"slave{k}"]] for k in range(8)],
+                n_terms=200,
+            )
+            sim = NocSimulator(
+                mesh, StochasticProtocol(0.6), seed=seed, default_ttl=24
+            )
+            app.deploy(sim)
+            result = sim.run(300, until=lambda s: app.master.complete)
+            assert app.master.complete
+            return result.rounds, result.energy_j
+
+        good_runs = [run_with(good, s) for s in range(4)]
+        bad_runs = [run_with(bad, s) for s in range(4)]
+        assert np.mean([r for r, _ in good_runs]) < np.mean(
+            [r for r, _ in bad_runs]
+        )

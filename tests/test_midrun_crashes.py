@@ -1,0 +1,84 @@
+"""Tests for scheduled mid-run crash injection (§4.1.3's early-crash note)."""
+
+import pytest
+
+from repro.core.packet import BROADCAST
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.noc import Mesh2D, NocSimulator
+from tests.test_engine import OneShotProducer, Sink
+
+
+class TestScheduling:
+    def test_tile_crashes_at_round(self):
+        sim = NocSimulator(Mesh2D(3, 3), FloodingProtocol(), seed=0)
+        sim.schedule_tile_crash(2, 4)
+        sim.mount(0, OneShotProducer(BROADCAST, ttl=10))
+        sim.run(1, until=lambda s: False)
+        assert sim.tiles[4].alive
+        sim2 = NocSimulator(Mesh2D(3, 3), FloodingProtocol(), seed=0)
+        sim2.schedule_tile_crash(2, 4)
+        sim2.mount(0, OneShotProducer(BROADCAST, ttl=10))
+        sim2.run(3, until=lambda s: False)
+        assert not sim2.tiles[4].alive
+
+    def test_link_crash_takes_one_direction(self):
+        sim = NocSimulator(Mesh2D(2, 2), FloodingProtocol(), seed=0)
+        sim.schedule_link_crash(0, (0, 1))
+        sink = Sink()
+        sim.mount(0, OneShotProducer(3, ttl=5))
+        sim.mount(3, sink)
+        result = sim.run(10)
+        assert result.completed  # 0 -> 2 -> 3 survives
+        assert result.stats.dead_link_drops > 0
+
+    def test_validation(self):
+        sim = NocSimulator(Mesh2D(2, 2), FloodingProtocol(), seed=0)
+        with pytest.raises(ValueError):
+            sim.schedule_tile_crash(-1, 0)
+        with pytest.raises(ValueError):
+            sim.schedule_tile_crash(0, 9)
+        with pytest.raises(ValueError):
+            sim.schedule_link_crash(0, (0, 3))  # not a mesh link
+
+
+class TestProtocolResilience:
+    def test_gossip_survives_midrun_region_loss(self):
+        # The centre of the mesh dies after the broadcast is underway;
+        # copies already outside the region complete the delivery.
+        sim = NocSimulator(
+            Mesh2D(4, 4), StochasticProtocol(0.6), seed=1, default_ttl=24
+        )
+        sink = Sink()
+        sim.mount(0, OneShotProducer(15))
+        sim.mount(15, sink)
+        for tile in (5, 6, 9, 10):
+            sim.schedule_tile_crash(3, tile)
+        result = sim.run(80)
+        assert result.completed
+
+    def test_early_crashes_can_kill_the_message(self):
+        # Thesis: "if a significant number of tile crashes occurs during
+        # the early stages ... the applications will fail completely".
+        # Crash the producer's entire neighborhood in round 1, before the
+        # message can escape the corner.
+        sim = NocSimulator(
+            Mesh2D(4, 4), StochasticProtocol(0.3), seed=3, default_ttl=24
+        )
+        sink = Sink()
+        sim.mount(0, OneShotProducer(15))
+        sim.mount(15, sink)
+        for tile in (1, 4, 5):
+            sim.schedule_tile_crash(1, tile)
+        result = sim.run(80)
+        assert not result.completed
+
+    def test_buffered_packets_lost_with_the_tile(self):
+        sim = NocSimulator(Mesh2D(1, 3), FloodingProtocol(), seed=0)
+        sink = Sink()
+        sim.mount(0, OneShotProducer(2, ttl=10))
+        sim.mount(2, sink)
+        # Tile 1 is the only relay; kill it the round after it latches
+        # the packet but before it can forward.
+        sim.schedule_tile_crash(1, 1)
+        result = sim.run(15)
+        assert not result.completed

@@ -1,0 +1,159 @@
+"""Tests for the end-to-end serial codec (encoder + decoder)."""
+
+import numpy as np
+import pytest
+
+from repro.mp3.decoder import Mp3Decoder, reconstruction_snr_db
+from repro.mp3.encoder import EncodedFrame, Mp3Encoder
+from repro.mp3.pcm import PcmSource
+
+
+@pytest.fixture(scope="module")
+def encoded_stream():
+    # 256 kbps: at the test-sized granule (144 samples) the fixed side
+    # info would eat most of a 128 kbps budget.
+    source = PcmSource(6, "mixture", seed=3, granule=144)
+    encoder = Mp3Encoder(bitrate_bps=256_000, granule=144)
+    frames = encoder.encode(source)
+    return source, frames
+
+
+class TestFrameSerialization:
+    def test_roundtrip(self, encoded_stream):
+        _, frames = encoded_stream
+        for frame in frames:
+            parsed = EncodedFrame.from_bytes(frame.to_bytes())
+            assert parsed.frame_index == frame.frame_index
+            assert parsed.global_gain == frame.global_gain
+            assert np.array_equal(parsed.scalefactors, frame.scalefactors)
+            assert parsed.payload_bits == frame.payload_bits
+            assert parsed.payload == frame.payload
+
+    def test_bad_sync_rejected(self, encoded_stream):
+        _, frames = encoded_stream
+        data = bytearray(frames[0].to_bytes())
+        data[0] = 0x00
+        with pytest.raises(ValueError, match="sync"):
+            EncodedFrame.from_bytes(bytes(data))
+
+    def test_truncation_rejected(self, encoded_stream):
+        _, frames = encoded_stream
+        data = frames[0].to_bytes()
+        with pytest.raises(ValueError):
+            EncodedFrame.from_bytes(data[:10])
+
+    def test_total_bits_matches_serialisation(self, encoded_stream):
+        _, frames = encoded_stream
+        for frame in frames:
+            assert frame.total_bits == 8 * len(frame.to_bytes())
+
+
+class TestEncoder:
+    def test_bitrate_near_target(self, encoded_stream):
+        _, frames = encoded_stream
+        measured = Mp3Encoder.measured_bitrate_bps(
+            frames, granule=144
+        )
+        # Side info is a fixed overhead per frame; at small granules it
+        # dominates more, so allow a wide band around the target.
+        assert 0.5 * 256_000 < measured < 1.3 * 256_000
+
+    def test_frame_indices_sequential(self, encoded_stream):
+        _, frames = encoded_stream
+        assert [f.frame_index for f in frames] == list(range(6))
+
+    def test_higher_bitrate_never_hurts_quality(self):
+        source = PcmSource(5, "mixture", seed=4, granule=144)
+        snrs = []
+        for bitrate in (32_000, 96_000, 256_000):
+            frames = Mp3Encoder(bitrate, granule=144).encode(source)
+            decoder = Mp3Decoder(granule=144)
+            reconstruction = decoder.decode(
+                {f.frame_index: f for f in frames}, 5
+            )
+            snrs.append(
+                reconstruction_snr_db(source.all_frames(), reconstruction)
+            )
+        assert snrs[0] <= snrs[1] + 1.0
+        assert snrs[1] <= snrs[2] + 1.0
+
+    def test_reset_between_streams(self):
+        source = PcmSource(3, "tone", seed=5, granule=144)
+        encoder = Mp3Encoder(granule=144)
+        first = encoder.encode(source)
+        second = encoder.encode(source)
+        assert [f.frame_index for f in second] == [0, 1, 2]
+        assert first[0].to_bytes() == second[0].to_bytes()
+
+    def test_empty_stream_bitrate(self):
+        assert Mp3Encoder.measured_bitrate_bps([]) == 0.0
+
+
+class TestDecoder:
+    def test_full_stream_reconstruction(self, encoded_stream):
+        source, frames = encoded_stream
+        decoder = Mp3Decoder(granule=144)
+        reconstruction = decoder.decode({f.frame_index: f for f in frames}, 6)
+        snr = reconstruction_snr_db(source.all_frames(), reconstruction)
+        assert snr > 5.0
+
+    def test_bitstream_walk_equals_dict_decode(self, encoded_stream):
+        source, frames = encoded_stream
+        by_dict = Mp3Decoder(granule=144).decode(
+            {f.frame_index: f for f in frames}, 6
+        )
+        by_stream = Mp3Decoder(granule=144).decode_bitstream(
+            Mp3Encoder.bitstream(frames), 6
+        )
+        assert np.allclose(by_dict, by_stream)
+
+    def test_lost_frame_concealed(self, encoded_stream):
+        source, frames = encoded_stream
+        full = Mp3Decoder(granule=144).decode(
+            {f.frame_index: f for f in frames}, 6
+        )
+        gappy = Mp3Decoder(granule=144).decode(
+            {f.frame_index: f for f in frames if f.frame_index != 3}, 6
+        )
+        snr_full = reconstruction_snr_db(source.all_frames(), full)
+        snr_gappy = reconstruction_snr_db(source.all_frames(), gappy)
+        assert snr_gappy < snr_full  # graceful degradation, not a crash
+
+    def test_all_frames_lost_is_silence(self):
+        decoder = Mp3Decoder(granule=144)
+        reconstruction = decoder.decode({}, 4)
+        assert np.abs(reconstruction).max() == 0.0
+
+    def test_corrupt_bitstream_decodes_prefix(self, encoded_stream):
+        source, frames = encoded_stream
+        stream = bytearray(Mp3Encoder.bitstream(frames))
+        # Smash the third frame's sync word; decoding conceals from there.
+        offset = sum(len(f.to_bytes()) for f in frames[:2])
+        stream[offset] = 0x00
+        reconstruction = Mp3Decoder(granule=144).decode_bitstream(
+            bytes(stream), 6
+        )
+        assert reconstruction.shape == (6, 144)
+        # Later granules are silent (concealed).
+        assert np.abs(reconstruction[4:]).max() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mp3Decoder().decode({}, 0)
+
+
+class TestSnrMetric:
+    def test_perfect_reconstruction_infinite(self):
+        signal = np.random.default_rng(0).normal(size=(4, 32))
+        assert reconstruction_snr_db(signal, signal.copy()) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            reconstruction_snr_db(np.zeros((2, 4)), np.zeros((3, 4)))
+
+    def test_known_value(self):
+        signal = np.ones((3, 100))
+        noisy = signal.copy()
+        noisy[1:] += 0.1
+        # SNR = 10 log10(1 / 0.01) = 20 dB over the scored region.
+        assert reconstruction_snr_db(signal, noisy) == pytest.approx(20.0)

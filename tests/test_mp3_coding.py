@@ -1,0 +1,225 @@
+"""Tests for the MP3 coding layers: Huffman, rate loop, bit reservoir."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp3.bitreservoir import BitReservoir
+from repro.mp3.huffman import ESCAPE, SPECTRUM_CODEC, HuffmanCodec
+from repro.mp3.psychoacoustic import PsychoacousticModel
+from repro.mp3.quantizer import RateLoopQuantizer
+
+
+class TestHuffman:
+    def test_roundtrip_small_values(self):
+        values = np.array([0, 1, -1, 5, -14, 14, 0, 0, 3])
+        payload, bits = SPECTRUM_CODEC.encode(values)
+        assert np.array_equal(
+            SPECTRUM_CODEC.decode(payload, len(values), bits), values
+        )
+
+    def test_roundtrip_escape_values(self):
+        values = np.array([15, -15, 1000, -40000, 65535])
+        payload, bits = SPECTRUM_CODEC.encode(values)
+        assert np.array_equal(
+            SPECTRUM_CODEC.decode(payload, len(values), bits), values
+        )
+
+    def test_bit_count_matches_encoding(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(-100, 100, size=500)
+        _, bits = SPECTRUM_CODEC.encode(values)
+        assert SPECTRUM_CODEC.spectrum_bits(values) == bits
+
+    def test_value_bits_sum(self):
+        values = np.array([0, 3, -20])
+        assert SPECTRUM_CODEC.spectrum_bits(values) == sum(
+            SPECTRUM_CODEC.value_bits(v) for v in values
+        )
+
+    def test_zeros_cheapest(self):
+        zero_cost = SPECTRUM_CODEC.value_bits(0)
+        assert all(
+            SPECTRUM_CODEC.value_bits(v) >= zero_cost for v in range(1, 200)
+        )
+
+    def test_escape_range_limit(self):
+        with pytest.raises(ValueError):
+            SPECTRUM_CODEC.value_bits(1 << 16)
+        with pytest.raises(ValueError):
+            SPECTRUM_CODEC.encode(np.array([1 << 16]))
+
+    def test_empty_spectrum(self):
+        payload, bits = SPECTRUM_CODEC.encode(np.array([], dtype=np.int64))
+        assert bits == 0
+        assert SPECTRUM_CODEC.spectrum_bits(np.array([])) == 0
+
+    def test_prefix_free_codes(self):
+        codes = SPECTRUM_CODEC.codes
+        as_strings = [format(c, f"0{l}b") for c, l in codes]
+        for i, a in enumerate(as_strings):
+            for j, b in enumerate(as_strings):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_kraft_equality(self):
+        assert sum(2.0 ** -l for _, l in SPECTRUM_CODEC.codes) == pytest.approx(1.0)
+
+    def test_custom_frequencies(self):
+        codec = HuffmanCodec.from_frequencies([1000] + [1] * ESCAPE)
+        # The dominant symbol gets the shortest code.
+        lengths = [l for _, l in codec.codes]
+        assert lengths[0] == min(lengths)
+
+    def test_frequency_count_validation(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec.from_frequencies([1, 2, 3])
+
+    def test_corrupt_stream_raises(self):
+        values = np.array([1, 2, 3])
+        payload, bits = SPECTRUM_CODEC.encode(values)
+        with pytest.raises(ValueError):
+            SPECTRUM_CODEC.decode(payload, 100, bits)  # too many values
+
+
+class TestRateLoop:
+    def _setup(self, n=144, seed=0):
+        model = PsychoacousticModel(n)
+        rng = np.random.default_rng(seed)
+        t = np.arange(n) / 44100
+        samples = 0.4 * np.sin(2 * np.pi * 1500 * t) + 0.05 * rng.normal(size=n)
+        psycho = model.analyze(samples)
+        # A representative spectrum with realistic dynamic range.
+        spectrum = rng.normal(size=n) * np.exp(-np.arange(n) / 40.0)
+        return spectrum, psycho
+
+    def test_budget_respected(self):
+        spectrum, psycho = self._setup()
+        quantizer = RateLoopQuantizer()
+        for budget in (200, 500, 1500):
+            result = quantizer.quantize(spectrum, psycho, budget)
+            assert result.bits_used <= budget
+
+    def test_more_bits_less_distortion(self):
+        spectrum, psycho = self._setup()
+        quantizer = RateLoopQuantizer()
+        small = quantizer.quantize(spectrum, psycho, 200)
+        large = quantizer.quantize(spectrum, psycho, 3000)
+        assert large.band_distortion.sum() <= small.band_distortion.sum()
+
+    def test_dequantize_inverts_quantize_shape(self):
+        spectrum, psycho = self._setup()
+        quantizer = RateLoopQuantizer()
+        result = quantizer.quantize(spectrum, psycho, 2000)
+        reconstructed = quantizer.dequantize(
+            result.values,
+            result.global_gain,
+            result.scalefactors,
+            psycho.band_edges,
+        )
+        # The x^(3/4) power law's step in the original domain grows like
+        # (4/3) q^(1/3) * step; bound the error by that at the largest
+        # quantized magnitude (plus slack for the rounding offset).
+        err = np.abs(reconstructed - spectrum).max()
+        step = 2.0 ** (result.global_gain / 4.0)
+        max_q = max(np.abs(result.values).max(), 1)
+        assert err <= step * (2.0 + 1.5 * max_q ** (1.0 / 3.0))
+
+    def test_quantize_dequantize_integer_fixpoint(self):
+        # dequantize(quantize(x)) requantizes to the same integers.
+        quantizer = RateLoopQuantizer()
+        rng = np.random.default_rng(1)
+        spectrum = rng.normal(size=64)
+        line_scale = np.ones(64)
+        values = quantizer.quantize_at(spectrum, 0, line_scale)
+        recon = quantizer.dequantize(
+            values, 0, np.zeros(1, dtype=np.int64), np.array([0, 64])
+        )
+        again = quantizer.quantize_at(recon, 0, line_scale)
+        assert np.array_equal(np.abs(again), np.abs(values))
+
+    def test_zero_budget_yields_silence(self):
+        spectrum, psycho = self._setup()
+        result = RateLoopQuantizer().quantize(spectrum, psycho, 0)
+        assert result.bits_used == 0
+
+    def test_iterations_bounded(self):
+        spectrum, psycho = self._setup()
+        result = RateLoopQuantizer().quantize(spectrum * 100, psycho, 400)
+        assert 1 <= result.iterations <= 8
+
+    def test_gain_range_validation(self):
+        with pytest.raises(ValueError):
+            RateLoopQuantizer(gain_range=(10, 10))
+
+    def test_negative_budget_rejected(self):
+        spectrum, psycho = self._setup()
+        with pytest.raises(ValueError):
+            RateLoopQuantizer().quantize(spectrum, psycho, -1)
+
+
+class TestBitReservoir:
+    def test_frame_bits(self):
+        reservoir = BitReservoir(128_000, granule=576, sample_rate_hz=44100)
+        assert reservoir.frame_bits == int(128_000 * 576 / 44100)
+
+    def test_surplus_banks(self):
+        reservoir = BitReservoir(128_000)
+        budget = reservoir.budget_for_next_granule()
+        reservoir.commit(budget - 500)
+        assert reservoir.level == 500
+
+    def test_banked_bits_raise_budget(self):
+        reservoir = BitReservoir(128_000)
+        base = reservoir.budget_for_next_granule()
+        reservoir.commit(base - 700)
+        assert reservoir.budget_for_next_granule() == base + 700
+
+    def test_cap_enforced(self):
+        reservoir = BitReservoir(128_000, max_reservoir_bits=100)
+        reservoir.commit(0)
+        assert reservoir.level == 100
+
+    def test_overspend_rejected(self):
+        reservoir = BitReservoir(128_000)
+        with pytest.raises(ValueError, match="granted"):
+            reservoir.commit(reservoir.budget_for_next_granule() + 1)
+
+    def test_side_info_reserved(self):
+        reservoir = BitReservoir(128_000)
+        with_side = reservoir.budget_for_next_granule(side_info_bits=200)
+        without = reservoir.budget_for_next_granule()
+        assert without - with_side == 200
+
+    def test_reset(self):
+        reservoir = BitReservoir(128_000)
+        reservoir.commit(0)
+        reservoir.reset()
+        assert reservoir.level == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitReservoir(0)
+        with pytest.raises(ValueError):
+            BitReservoir(128_000, granule=0)
+        reservoir = BitReservoir(128_000)
+        with pytest.raises(ValueError):
+            reservoir.commit(-1)
+        with pytest.raises(ValueError):
+            reservoir.budget_for_next_granule(side_info_bits=-1)
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=-60000, max_value=60000), min_size=0, max_size=300
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_huffman_roundtrip(values):
+    array = np.array(values, dtype=np.int64)
+    payload, bits = SPECTRUM_CODEC.encode(array)
+    decoded = SPECTRUM_CODEC.decode(payload, len(array), bits)
+    assert np.array_equal(decoded, array)
+    assert bits == SPECTRUM_CODEC.spectrum_bits(array)
+    assert len(payload) == -(-bits // 8)

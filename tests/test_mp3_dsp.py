@@ -1,0 +1,187 @@
+"""Tests for the MP3 DSP substrates: PCM, MDCT, psychoacoustics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp3.mdct import Mdct, roundtrip
+from repro.mp3.pcm import (
+    GRANULE,
+    PcmSource,
+    frames_from_signal,
+    synthesize_signal,
+)
+from repro.mp3.psychoacoustic import (
+    PsychoacousticModel,
+    hz_to_bark,
+    threshold_in_quiet_db,
+)
+
+
+class TestPcm:
+    @pytest.mark.parametrize("kind", ["tone", "chirp", "noise", "mixture"])
+    def test_kinds_in_range(self, kind):
+        signal = synthesize_signal(2048, kind, seed=0)
+        assert signal.shape == (2048,)
+        assert np.abs(signal).max() <= 1.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            synthesize_signal(100, "square")
+
+    def test_tone_frequency(self):
+        signal = synthesize_signal(44100, "tone", seed=0)
+        spectrum = np.abs(np.fft.rfft(signal))
+        peak_hz = np.argmax(spectrum)  # 1 Hz bins at 1 s of audio
+        assert peak_hz == pytest.approx(880, abs=2)
+
+    def test_framing_pads_tail(self):
+        frames = frames_from_signal(np.ones(1000), granule=576)
+        assert frames.shape == (2, 576)
+        assert frames[1, 1000 - 576 :].sum() == 0.0
+
+    def test_source_frames(self):
+        source = PcmSource(4, "tone", seed=1, granule=128)
+        assert source.all_frames().shape == (4, 128)
+        assert np.array_equal(source.frame(2), source.all_frames()[2])
+        with pytest.raises(IndexError):
+            source.frame(4)
+
+    def test_seeded_reproducibility(self):
+        a = synthesize_signal(512, "noise", seed=7)
+        b = synthesize_signal(512, "noise", seed=7)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_signal(0)
+        with pytest.raises(ValueError):
+            synthesize_signal(10, amplitude=0.0)
+        with pytest.raises(ValueError):
+            PcmSource(0)
+
+
+class TestMdct:
+    def test_perfect_reconstruction(self):
+        frames = frames_from_signal(
+            synthesize_signal(576 * 8, "mixture", seed=0)
+        )
+        reconstructed = roundtrip(frames)
+        # Interior granules reconstruct exactly (TDAC); the first has no
+        # left window context.
+        assert np.abs(reconstructed[1:] - frames[1:]).max() < 1e-10
+
+    @pytest.mark.parametrize("n", [4, 36, 144, 576])
+    def test_reconstruction_all_sizes(self, n):
+        rng = np.random.default_rng(n)
+        frames = rng.normal(size=(5, n))
+        reconstructed = roundtrip(frames, n)
+        assert np.abs(reconstructed[1:] - frames[1:]).max() < 1e-9
+
+    def test_princen_bradley_window(self):
+        mdct = Mdct(64)
+        w = mdct.window
+        # w[n]^2 + w[n+N]^2 == 1 for TDAC cancellation.
+        assert np.allclose(w[:64] ** 2 + w[64:] ** 2, 1.0)
+
+    def test_energy_compaction_for_tone(self):
+        # A pure tone concentrates MDCT energy in few coefficients.
+        mdct = Mdct(576)
+        t = np.arange(576 * 2) / 44100
+        tone = np.sin(2 * np.pi * 1000 * t)
+        mdct.analyze(tone[:576])
+        spectrum = mdct.analyze(tone[576:])
+        energy = spectrum**2
+        top8 = np.sort(energy)[-8:].sum()
+        assert top8 / energy.sum() > 0.95
+
+    def test_reset_clears_state(self):
+        mdct = Mdct(64)
+        rng = np.random.default_rng(0)
+        frame = rng.normal(size=64)
+        first = mdct.analyze(frame)
+        mdct.analyze(rng.normal(size=64))
+        mdct.reset()
+        assert np.allclose(mdct.analyze(frame), first)
+
+    def test_shape_validation(self):
+        mdct = Mdct(64)
+        with pytest.raises(ValueError):
+            mdct.analyze(np.zeros(63))
+        with pytest.raises(ValueError):
+            mdct.synthesize(np.zeros(65))
+        with pytest.raises(ValueError):
+            Mdct(7)
+
+
+class TestPsychoacoustics:
+    def test_bark_monotone(self):
+        freqs = np.linspace(20, 20000, 200)
+        barks = hz_to_bark(freqs)
+        assert np.all(np.diff(barks) > 0)
+
+    def test_threshold_in_quiet_dips_mid_band(self):
+        # Human hearing is most sensitive around 3-4 kHz.
+        low = threshold_in_quiet_db(np.array([100.0]))[0]
+        mid = threshold_in_quiet_db(np.array([3500.0]))[0]
+        high = threshold_in_quiet_db(np.array([16000.0]))[0]
+        assert mid < low
+        assert mid < high
+
+    def test_band_edges_cover_spectrum(self):
+        model = PsychoacousticModel(576)
+        edges = model.band_edges
+        assert edges[0] == 0
+        assert edges[-1] == 576
+        assert np.all(np.diff(edges) >= 0)
+
+    def test_smr_peaks_in_tone_band(self):
+        model = PsychoacousticModel(576)
+        t = np.arange(576) / 44100
+        tone = 0.5 * np.sin(2 * np.pi * 2000 * t)
+        result = model.analyze(tone)
+        tone_line = int(2000 / (44100 / 2) * 576)
+        tone_band = model.line_band[tone_line]
+        assert result.band_energy.argmax() == tone_band
+
+    def test_mask_floor_is_threshold_in_quiet(self):
+        model = PsychoacousticModel(576)
+        result = model.analyze(np.zeros(576))
+        assert np.all(result.mask_energy >= model.band_tiq * (1 - 1e-12))
+
+    def test_louder_signal_masks_more(self):
+        model = PsychoacousticModel(576)
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=576)
+        quiet = model.analyze(0.01 * noise)
+        loud = model.analyze(0.5 * noise)
+        assert loud.mask_energy.sum() > quiet.mask_energy.sum()
+
+    def test_allowed_distortion_is_copy(self):
+        model = PsychoacousticModel(144)
+        result = model.analyze(np.zeros(144))
+        allowed = result.allowed_distortion()
+        allowed[:] = -1
+        assert np.all(result.mask_energy >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PsychoacousticModel(4)
+        with pytest.raises(ValueError):
+            PsychoacousticModel(576, n_bands=1)
+        model = PsychoacousticModel(144)
+        with pytest.raises(ValueError):
+            model.analyze(np.zeros(100))
+
+
+@given(
+    seed=st.integers(0, 1000),
+    n=st.sampled_from([16, 64, 144]),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_mdct_tdac(seed, n):
+    rng = np.random.default_rng(seed)
+    frames = rng.normal(size=(4, n))
+    reconstructed = roundtrip(frames, n)
+    assert np.abs(reconstructed[1:] - frames[1:]).max() < 1e-8

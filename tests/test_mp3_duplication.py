@@ -1,0 +1,115 @@
+"""Tests for MP3 pipeline stage duplication (§4.1.1 applied to Fig 4-7)."""
+
+import pytest
+
+from repro.apps import run_on_noc
+from repro.core.protocol import StochasticProtocol
+from repro.faults import CrashPlan
+from repro.mp3 import Mp3Encoder, ParallelMp3App
+from repro.noc import Mesh2D, NocSimulator
+
+PRIMARIES = (0, 1, 2, 3, 7)
+REPLICAS = (8, 9, 12, 13, 14)
+
+
+def _duplicated_app(n_frames=4, skip_after=40, seed=0):
+    return ParallelMp3App(
+        n_frames=n_frames,
+        granule=144,
+        stage_tiles=PRIMARIES,
+        replica_tiles=REPLICAS,
+        skip_after=skip_after,
+        seed=seed,
+    )
+
+
+class TestFaultFree:
+    def test_matches_serial_encoder(self):
+        app = _duplicated_app()
+        sim = NocSimulator(Mesh2D(4, 4), StochasticProtocol(0.7), seed=5)
+        run_on_noc(app, sim, max_rounds=400)
+        serial = Mp3Encoder(128_000, granule=144).encode(app.source)
+        frames = app.collected_frames()
+        assert len(frames) == 4
+        for frame in serial:
+            assert frames[frame.frame_index].to_bytes() == frame.to_bytes()
+
+    def test_replicas_add_no_unique_messages(self):
+        counts = {}
+        for replica_tiles in (None, REPLICAS):
+            app = ParallelMp3App(
+                n_frames=3,
+                granule=144,
+                stage_tiles=PRIMARIES,
+                replica_tiles=replica_tiles,
+            )
+            sim = NocSimulator(
+                Mesh2D(4, 4), StochasticProtocol(0.6), seed=6
+            )
+            run_on_noc(app, sim, max_rounds=400)
+            counts[replica_tiles is not None] = (
+                sim.stats.unique_messages_created
+            )
+        # 3 granules x 4 producing stages, with or without replicas.
+        assert counts[True] == counts[False] == 12
+
+
+class TestCrashSurvival:
+    def test_survives_all_primary_crashes(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.is_connected(excluding=frozenset(PRIMARIES))
+        app = _duplicated_app(n_frames=5)
+        sim = NocSimulator(
+            mesh,
+            StochasticProtocol(0.6),
+            seed=2,
+            default_ttl=20,
+            crash_plan=CrashPlan(dead_tiles=frozenset(PRIMARIES)),
+        )
+        result = run_on_noc(app, sim, max_rounds=800)
+        assert result.completed
+        report = app.report()
+        assert report.encoding_complete
+        assert report.frames_received == 5
+
+    def test_survives_mixed_replica_crashes(self):
+        # One dead tile per stage, alternating replica/primary, chosen so
+        # the survivors stay connected.
+        dead = frozenset(
+            {REPLICAS[0], PRIMARIES[1], REPLICAS[2], PRIMARIES[3], REPLICAS[4]}
+        )
+        mesh = Mesh2D(4, 4)
+        assert mesh.is_connected(excluding=dead)
+        app = _duplicated_app(n_frames=4)
+        sim = NocSimulator(
+            mesh,
+            StochasticProtocol(0.6),
+            seed=3,
+            default_ttl=20,
+            crash_plan=CrashPlan(dead_tiles=dead),
+        )
+        result = run_on_noc(app, sim, max_rounds=800)
+        assert result.completed
+        assert app.report().encoding_complete
+
+    def test_unduplicated_dies_with_a_stage(self):
+        app = ParallelMp3App(
+            n_frames=4, granule=144, stage_tiles=PRIMARIES
+        )
+        sim = NocSimulator(
+            Mesh2D(4, 4),
+            StochasticProtocol(0.6),
+            seed=4,
+            crash_plan=CrashPlan(dead_tiles=frozenset({PRIMARIES[2]})),
+        )
+        run_on_noc(app, sim, max_rounds=600)
+        assert not app.report().encoding_complete
+
+
+class TestValidation:
+    def test_overlapping_replicas_rejected(self):
+        with pytest.raises(ValueError, match="ten distinct"):
+            ParallelMp3App(
+                stage_tiles=PRIMARIES,
+                replica_tiles=(PRIMARIES[0], 9, 12, 13, 14),
+            )

@@ -1,0 +1,194 @@
+"""Tests for the parallel MP3 pipeline on the NoC (Fig 4-7)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import run_on_noc
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.faults import FaultConfig
+from repro.mp3.decoder import Mp3Decoder, reconstruction_snr_db
+from repro.mp3.encoder import Mp3Encoder
+from repro.mp3.parallel import ParallelMp3App, _Resequencer
+from repro.noc.engine import NocSimulator
+from repro.noc.topology import Mesh2D
+
+
+class TestResequencer:
+    def test_in_order_passthrough(self):
+        reseq = _Resequencer(3, skip_after=5)
+        reseq.push(0, "a")
+        assert reseq.pop_ready() == [(0, "a")]
+        reseq.push(1, "b")
+        reseq.push(2, "c")
+        assert reseq.pop_ready() == [(1, "b"), (2, "c")]
+        assert reseq.finished
+
+    def test_out_of_order_buffered(self):
+        reseq = _Resequencer(3, skip_after=5)
+        reseq.push(2, "c")
+        reseq.push(1, "b")
+        assert reseq.pop_ready() == []
+        reseq.push(0, "a")
+        assert reseq.pop_ready() == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_skip_after_timeout(self):
+        reseq = _Resequencer(2, skip_after=3)
+        reseq.push(1, "b")
+        for _ in range(3):
+            assert reseq.pop_ready() == []
+        assert reseq.pop_ready() == [(0, None), (1, "b")]
+        assert reseq.skipped == [0]
+
+    def test_duplicate_pushes_ignored(self):
+        reseq = _Resequencer(2, skip_after=5)
+        reseq.push(0, "first")
+        reseq.push(0, "second")
+        assert reseq.pop_ready() == [(0, "first")]
+
+    def test_stale_pushes_ignored(self):
+        reseq = _Resequencer(3, skip_after=1)
+        for _ in range(2):
+            reseq.pop_ready()
+        reseq.pop_ready()  # skips 0
+        reseq.push(0, "late")
+        reseq.push(1, "b")
+        ready = reseq.pop_ready()
+        assert (1, "b") in ready
+        assert all(item != (0, "late") for item in ready)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _Resequencer(0, 5)
+        with pytest.raises(ValueError):
+            _Resequencer(3, 0)
+
+
+class TestPipelineFaultFree:
+    def test_completes_and_loses_nothing(self):
+        app = ParallelMp3App(n_frames=6, granule=144)
+        sim = NocSimulator(Mesh2D(4, 4), StochasticProtocol(0.5), seed=0)
+        result = run_on_noc(app, sim, max_rounds=400)
+        assert result.completed
+        report = app.report()
+        assert report.encoding_complete
+        assert report.frames_received == 6
+        assert report.frames_lost == 0
+
+    def test_parallel_output_matches_serial_encoder(self):
+        # The pipeline's frames must be byte-identical to the serial
+        # reference: same stages, same maths, different transport.
+        app = ParallelMp3App(n_frames=4, granule=144, seed=9)
+        sim = NocSimulator(Mesh2D(4, 4), FloodingProtocol(), seed=1)
+        run_on_noc(app, sim, max_rounds=200)
+        serial = Mp3Encoder(bitrate_bps=128_000, granule=144).encode(app.source)
+        assert app.output.frames_received == 4
+        for frame in serial:
+            parallel_frame = app.output.frames[frame.frame_index]
+            assert parallel_frame.to_bytes() == frame.to_bytes()
+
+    def test_decoded_quality(self):
+        # 256 kbps: side info dominates 128 kbps at the test granule.
+        app = ParallelMp3App(
+            n_frames=5, granule=144, seed=2, bitrate_bps=256_000
+        )
+        sim = NocSimulator(Mesh2D(4, 4), StochasticProtocol(0.6), seed=3)
+        run_on_noc(app, sim, max_rounds=400)
+        decoder = Mp3Decoder(granule=144)
+        reconstruction = decoder.decode(app.output.frames, 5)
+        snr = reconstruction_snr_db(app.source.all_frames(), reconstruction)
+        assert snr > 5.0
+
+    def test_bitstream_assembly(self):
+        app = ParallelMp3App(n_frames=3, granule=144)
+        sim = NocSimulator(Mesh2D(4, 4), FloodingProtocol(), seed=4)
+        run_on_noc(app, sim, max_rounds=200)
+        stream = app.output.bitstream()
+        reconstruction = Mp3Decoder(granule=144).decode_bitstream(stream, 3)
+        assert reconstruction.shape == (3, 144)
+
+
+class TestPipelineUnderFaults:
+    def test_moderate_overflow_tolerated(self):
+        # Thesis Fig 4-10/4-11: sustained through ~60 % dropped packets
+        # (given TTL headroom and resequencer patience to match).
+        app = ParallelMp3App(n_frames=6, granule=144, skip_after=50)
+        sim = NocSimulator(
+            Mesh2D(4, 4),
+            StochasticProtocol(0.5),
+            FaultConfig(p_overflow=0.6),
+            seed=5,
+            default_ttl=24,
+        )
+        result = run_on_noc(app, sim, max_rounds=1200)
+        assert result.completed
+        assert app.report().encoding_complete
+
+    def test_extreme_overflow_fails(self):
+        # Point A of Fig 4-10: beyond ~80-90 % the encoding cannot finish.
+        app = ParallelMp3App(n_frames=6, granule=144)
+        sim = NocSimulator(
+            Mesh2D(4, 4),
+            StochasticProtocol(0.5),
+            FaultConfig(p_overflow=0.95),
+            seed=6,
+        )
+        run_on_noc(app, sim, max_rounds=800)
+        report = app.report()
+        assert not report.encoding_complete
+        assert report.frames_lost > 0
+
+    def test_sync_errors_never_fatal(self):
+        for seed in range(3):
+            app = ParallelMp3App(n_frames=4, granule=144)
+            sim = NocSimulator(
+                Mesh2D(4, 4),
+                StochasticProtocol(0.5),
+                FaultConfig(sigma_synchr=0.5),
+                seed=seed,
+            )
+            result = run_on_noc(app, sim, max_rounds=800)
+            assert result.completed
+            assert app.report().encoding_complete
+
+    def test_upsets_tolerated(self):
+        app = ParallelMp3App(n_frames=4, granule=144)
+        sim = NocSimulator(
+            Mesh2D(4, 4),
+            StochasticProtocol(0.5),
+            FaultConfig(p_upset=0.4),
+            seed=7,
+            default_ttl=40,
+        )
+        result = run_on_noc(app, sim, max_rounds=800)
+        assert result.completed
+        assert app.report().encoding_complete
+        assert result.stats.upsets_detected > 0
+
+    def test_bitrate_degrades_with_loss(self):
+        def measured_bitrate(p_overflow, seed):
+            app = ParallelMp3App(n_frames=6, granule=144)
+            sim = NocSimulator(
+                Mesh2D(4, 4),
+                StochasticProtocol(0.5),
+                FaultConfig(p_overflow=p_overflow),
+                seed=seed,
+            )
+            run_on_noc(app, sim, max_rounds=800)
+            return app.report().bitrate_bps
+
+        clean = np.mean([measured_bitrate(0.0, s) for s in range(2)])
+        lossy = np.mean([measured_bitrate(0.93, s) for s in range(2)])
+        assert lossy < clean
+
+
+class TestValidation:
+    def test_distinct_stage_tiles(self):
+        with pytest.raises(ValueError):
+            ParallelMp3App(stage_tiles=(0, 0, 1, 2, 3))
+
+    def test_report_fields(self):
+        app = ParallelMp3App(n_frames=2, granule=144)
+        report = app.report()
+        assert report.n_frames == 2
+        assert report.frames_lost == 2  # nothing ran yet
+        assert not report.encoding_complete

@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.plots import bar_chart, line_chart, sparkline
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart(["alpha", "b"], [2.0, 4.0], width=8)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("alpha | ####")
+        assert "########" in lines[1]
+
+    def test_zero_values_draw_nothing(self):
+        chart = bar_chart(["x", "y"], [0.0, 1.0], width=4)
+        first = chart.splitlines()[0]
+        assert "#" not in first
+
+    def test_title_and_unit(self):
+        chart = bar_chart(["x"], [1.0], title="T", unit=" J")
+        assert chart.startswith("T\n")
+        assert chart.endswith("1 J")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestLineChart:
+    def test_contains_all_points(self):
+        chart = line_chart([0, 1, 2, 3], [0, 1, 4, 9], width=20, height=8)
+        assert chart.count("*") >= 3  # distinct grid cells
+
+    def test_monotone_series_descends_across_rows(self):
+        chart = line_chart([0, 1], [0, 10], width=10, height=5)
+        rows = [line for line in chart.splitlines() if line.startswith("    |")]
+        top_star = next(i for i, row in enumerate(rows) if "*" in row)
+        bottom_star = max(i for i, row in enumerate(rows) if "*" in row)
+        assert top_star < bottom_star
+
+    def test_flat_series_renders(self):
+        chart = line_chart([0, 1, 2], [5, 5, 5], width=10, height=4)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([0], [0])
+        with pytest.raises(ValueError):
+            line_chart([0, 1], [0])
+        with pytest.raises(ValueError):
+            line_chart([0, 1], [0, 1], width=1)
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_flat(self):
+        assert sparkline([2, 2, 2]) == "▁▁▁"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_real_series(self):
+        from repro.core.theory import deterministic_spread
+
+        curve = deterministic_spread(1000, 18)
+        art = sparkline(curve)
+        assert len(art) == 19
+        assert art[0] == "▁" and art[-1] == "█"

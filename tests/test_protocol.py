@@ -1,0 +1,94 @@
+"""Tests for the stochastic forwarding protocol (Fig 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+
+
+def _packet():
+    return Packet.create(0, 1, 0, b"x", ttl=3)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("p", [0.0, -0.5, 1.5])
+    def test_rejects_bad_probability(self, p):
+        with pytest.raises(ValueError):
+            StochasticProtocol(p)
+
+    def test_name_default(self):
+        assert "0.5" in StochasticProtocol(0.5).name
+        assert FloodingProtocol().name == "flooding"
+
+
+class TestFlooding:
+    def test_always_transmits_everywhere(self):
+        rng = np.random.default_rng(0)
+        protocol = FloodingProtocol()
+        decisions = protocol.decide(_packet(), (1, 2, 3, 4), rng)
+        assert len(decisions) == 4
+        assert all(d.transmit for d in decisions)
+        assert [d.neighbor for d in decisions] == [1, 2, 3, 4]
+
+    def test_is_deterministic_flag(self):
+        assert FloodingProtocol().is_deterministic
+        assert StochasticProtocol(1.0).is_deterministic
+        assert not StochasticProtocol(0.99).is_deterministic
+
+
+class TestStochastic:
+    def test_per_port_frequency(self):
+        rng = np.random.default_rng(1)
+        protocol = StochasticProtocol(0.3)
+        sent = 0
+        trials = 3000
+        for _ in range(trials):
+            sent += sum(
+                d.transmit for d in protocol.decide(_packet(), (1, 2), rng)
+            )
+        assert sent / (2 * trials) == pytest.approx(0.3, abs=0.03)
+
+    def test_ports_independent(self):
+        # Joint transmit frequency on two ports should be ~p^2.
+        rng = np.random.default_rng(2)
+        protocol = StochasticProtocol(0.5)
+        both = 0
+        trials = 3000
+        for _ in range(trials):
+            decisions = protocol.decide(_packet(), (1, 2), rng)
+            both += decisions[0].transmit and decisions[1].transmit
+        assert both / trials == pytest.approx(0.25, abs=0.03)
+
+    def test_port_indices_match_neighbors(self):
+        rng = np.random.default_rng(3)
+        decisions = StochasticProtocol(0.7).decide(_packet(), (9, 4, 6), rng)
+        assert [(d.port, d.neighbor) for d in decisions] == [
+            (0, 9),
+            (1, 4),
+            (2, 6),
+        ]
+
+    def test_empty_neighbors(self):
+        rng = np.random.default_rng(4)
+        assert StochasticProtocol(0.5).decide(_packet(), (), rng) == []
+
+    def test_expected_copies(self):
+        assert StochasticProtocol(0.25).expected_copies_per_round(4) == 1.0
+        assert FloodingProtocol().expected_copies_per_round(4) == 4.0
+
+    def test_seeded_reproducibility(self):
+        protocol = StochasticProtocol(0.5)
+        a = [
+            d.transmit
+            for d in protocol.decide(
+                _packet(), (1, 2, 3), np.random.default_rng(99)
+            )
+        ]
+        b = [
+            d.transmit
+            for d in protocol.decide(
+                _packet(), (1, 2, 3), np.random.default_rng(99)
+            )
+        ]
+        assert a == b

@@ -1,0 +1,152 @@
+"""Tests for the rumor-spreading theory (§3.1, Fig 3-1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    deterministic_spread,
+    expected_rounds_to_inform_all,
+    recommended_ttl,
+    rounds_until_informed,
+    simulate_rumor_spread,
+)
+
+
+class TestDeterministicSpread:
+    def test_initial_condition(self):
+        assert deterministic_spread(100, 0) == [1.0]
+
+    def test_monotone_increasing(self):
+        curve = deterministic_spread(1000, 30)
+        assert all(b > a for a, b in zip(curve, curve[1:]))
+
+    def test_bounded_by_n(self):
+        curve = deterministic_spread(500, 50)
+        assert all(value <= 500 for value in curve)
+
+    def test_converges_to_n(self):
+        assert deterministic_spread(1000, 60)[-1] == pytest.approx(1000, abs=0.5)
+
+    def test_exponential_phase(self):
+        # Early on, I(t+1) ~ 2 I(t) (everyone informs someone new).
+        curve = deterministic_spread(10**6, 10)
+        for a, b in zip(curve[:8], curve[1:9]):
+            assert b / a == pytest.approx(2.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            deterministic_spread(0, 5)
+        with pytest.raises(ValueError):
+            deterministic_spread(10, -1)
+
+
+class TestExpectedRounds:
+    def test_thesis_1000_node_figure(self):
+        # Fig 3-1: under 20 rounds for 1000 nodes.
+        assert expected_rounds_to_inform_all(1000) < 20
+
+    def test_logarithmic_growth(self):
+        assert (
+            expected_rounds_to_inform_all(10_000)
+            - expected_rounds_to_inform_all(1000)
+        ) == pytest.approx(
+            expected_rounds_to_inform_all(100_000)
+            - expected_rounds_to_inform_all(10_000),
+            rel=0.01,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_rounds_to_inform_all(1)
+
+
+class TestRoundsUntilInformed:
+    def test_full_population(self):
+        rounds = rounds_until_informed(1000)
+        # Within a few rounds of the Pittel estimate.
+        assert abs(rounds - expected_rounds_to_inform_all(1000)) < 5
+
+    def test_half_population_is_faster(self):
+        assert rounds_until_informed(1000, 0.5) < rounds_until_informed(1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounds_until_informed(1000, 0.0)
+        with pytest.raises(ValueError):
+            rounds_until_informed(0)
+
+
+class TestSimulation:
+    def test_matches_fig_3_1(self):
+        # 1000 nodes reached in < 20 rounds (the thesis' headline claim).
+        counts = simulate_rumor_spread(1000, seed=0)
+        assert counts[-1] == 1000
+        assert len(counts) - 1 < 20
+
+    def test_monotone_nondecreasing(self):
+        counts = simulate_rumor_spread(500, seed=1)
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_tracks_deterministic_curve(self):
+        n = 2000
+        simulated = simulate_rumor_spread(n, rounds=12, seed=2)
+        predicted = deterministic_spread(n, 12)
+        for sim, det in zip(simulated[3:], predicted[3:]):
+            assert sim == pytest.approx(det, rel=0.35)
+
+    def test_higher_fanout_is_faster(self):
+        slow = len(simulate_rumor_spread(1000, fanout=1, seed=3))
+        fast = len(simulate_rumor_spread(1000, fanout=3, seed=3))
+        assert fast < slow
+
+    def test_fixed_rounds_cutoff(self):
+        counts = simulate_rumor_spread(1000, rounds=5, seed=4)
+        assert len(counts) == 6
+
+    def test_single_node(self):
+        assert simulate_rumor_spread(1, seed=5) == [1]
+
+    def test_seeded_reproducibility(self):
+        a = simulate_rumor_spread(300, seed=6)
+        b = simulate_rumor_spread(300, seed=6)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_rumor_spread(0)
+        with pytest.raises(ValueError):
+            simulate_rumor_spread(10, fanout=0)
+
+
+class TestRecommendedTtl:
+    def test_combines_diameter_and_log(self):
+        assert recommended_ttl(16, 6) == 6 + 4 + 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommended_ttl(0, 5)
+        with pytest.raises(ValueError):
+            recommended_ttl(10, -1)
+        with pytest.raises(ValueError):
+            recommended_ttl(10, 2, slack=-1)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=5000),
+    rounds=st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_deterministic_spread_in_range(n, rounds):
+    curve = deterministic_spread(n, rounds)
+    assert len(curve) == rounds + 1
+    assert all(1.0 <= value <= n for value in curve)
+    assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+
+@given(n=st.integers(min_value=2, max_value=800), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_property_simulation_reaches_everyone(n, seed):
+    counts = simulate_rumor_spread(n, seed=seed)
+    assert counts[0] == 1
+    assert counts[-1] == n

@@ -1,0 +1,159 @@
+"""Tests for the tile micro-architecture (Fig 3-5)."""
+
+import pytest
+
+from repro.core.packet import BROADCAST, Packet, PacketFactory
+from repro.noc.stats import NetworkStats
+from repro.noc.tile import RelayCore, Tile, TileState
+
+
+def _packet(source=0, destination=1, message_id=0, ttl=3, payload=b"x"):
+    return Packet.create(source, destination, message_id, payload, ttl)
+
+
+class TestReceivePath:
+    def test_intact_packet_for_me_is_delivered(self):
+        tile = Tile(1)
+        stats = NetworkStats()
+        delivered = tile.receive(_packet(destination=1), stats)
+        assert delivered is not None
+        assert stats.deliveries == 1
+
+    def test_intact_packet_for_other_is_relayed_not_delivered(self):
+        tile = Tile(2)
+        stats = NetworkStats()
+        delivered = tile.receive(_packet(destination=1), stats)
+        assert delivered is None
+        assert len(tile.send_buffer) == 1  # buffered for relaying
+
+    def test_corrupt_packet_dropped(self):
+        tile = Tile(1)
+        stats = NetworkStats()
+        packet = _packet(destination=1)
+        bad = bytearray(packet.codeword)
+        bad[0] ^= 0xFF
+        delivered = tile.receive(packet.scrambled(bytes(bad)), stats)
+        assert delivered is None
+        assert stats.upsets_detected == 1
+        assert len(tile.send_buffer) == 0
+
+    def test_duplicate_suppressed(self):
+        tile = Tile(1)
+        stats = NetworkStats()
+        tile.receive(_packet(destination=1), stats)
+        again = tile.receive(_packet(destination=1), stats)
+        assert again is None
+        assert stats.duplicates_suppressed == 1
+        assert stats.deliveries == 1
+        assert len(tile.send_buffer) == 1
+
+    def test_broadcast_delivered_and_relayed(self):
+        tile = Tile(5)
+        stats = NetworkStats()
+        delivered = tile.receive(_packet(destination=BROADCAST), stats)
+        assert delivered is not None
+        assert len(tile.send_buffer) == 1
+
+    def test_delivery_hops_recorded(self):
+        tile = Tile(1)
+        stats = NetworkStats()
+        packet = _packet(destination=1).copy_for_link().copy_for_link()
+        tile.receive(packet, stats)
+        assert stats.delivery_hops_total == 2
+        assert stats.mean_delivery_hops == 2.0
+
+    def test_crashed_tile_swallows(self):
+        tile = Tile(1)
+        tile.crash()
+        stats = NetworkStats()
+        assert tile.receive(_packet(destination=1), stats) is None
+        assert stats.dead_tile_drops == 1
+
+
+class TestSendBuffer:
+    def test_originate_enters_buffer(self):
+        tile = Tile(0)
+        packet = tile.factory.make(3, b"data")
+        tile.originate(packet)
+        assert list(tile.send_buffer.values()) == [packet]
+
+    def test_originate_suppresses_self_delivery(self):
+        # A broadcast gossiped back to its origin must not hit the IP.
+        tile = Tile(0)
+        stats = NetworkStats()
+        packet = tile.factory.make(BROADCAST, b"data")
+        tile.originate(packet)
+        returned = tile.receive(packet.copy_for_link(), stats)
+        assert returned is None
+        assert stats.deliveries == 0
+
+    def test_capacity_evicts_oldest(self):
+        tile = Tile(0, buffer_capacity=2)
+        stats = NetworkStats()
+        for message_id in range(3):
+            tile.receive(_packet(message_id=message_id), stats)
+        keys = list(tile.send_buffer)
+        assert keys == [(0, 1), (0, 2)]  # (0, 0) evicted first
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tile(0, buffer_capacity=0)
+
+    def test_ttl_decrement_and_gc(self):
+        tile = Tile(0)
+        stats = NetworkStats()
+        tile.receive(_packet(message_id=0, ttl=1), stats)
+        tile.receive(_packet(message_id=1, ttl=3), stats)
+        expired = tile.decrement_ttls()
+        assert expired == 1
+        assert list(tile.send_buffer) == [(0, 1)]
+
+    def test_seen_keys_block_resurrection(self):
+        tile = Tile(0)
+        stats = NetworkStats()
+        tile.receive(_packet(message_id=0, ttl=1), stats)
+        tile.decrement_ttls()  # GC
+        tile.receive(_packet(message_id=0, ttl=5), stats)
+        assert len(tile.send_buffer) == 0
+        assert stats.duplicates_suppressed == 1
+
+    def test_crash_clears_buffer(self):
+        tile = Tile(0)
+        stats = NetworkStats()
+        tile.receive(_packet(), stats)
+        tile.crash()
+        assert tile.state == TileState.CRASHED
+        assert not tile.alive
+        assert len(tile.send_buffer) == 0
+        assert tile.outgoing_packets() == []
+
+    def test_crashed_tile_cannot_originate(self):
+        tile = Tile(0)
+        tile.crash()
+        tile.originate(_packet())
+        assert len(tile.send_buffer) == 0
+
+    def test_informed_flag(self):
+        tile = Tile(0)
+        stats = NetworkStats()
+        assert not tile.informed
+        tile.receive(_packet(), stats)
+        assert tile.informed
+
+
+class TestDefaults:
+    def test_default_relay_core(self):
+        tile = Tile(4)
+        assert isinstance(tile.ip, RelayCore)
+        assert tile.ip.complete
+
+    def test_default_factory_uses_tile_id(self):
+        tile = Tile(4)
+        assert tile.factory.make(0, b"").source == 4
+
+    def test_origination_keys_tracked(self):
+        tile = Tile(0)
+        factory = PacketFactory(0)
+        tile.originate(factory.make(1, b"a"))
+        tile.originate(factory.make(1, b"b"))
+        assert tile.originated_keys == {(0, 0), (0, 1)}

@@ -1,0 +1,211 @@
+"""Tests for the NoC topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.topology import (
+    CustomTopology,
+    FullyConnected,
+    Mesh2D,
+    RingTopology,
+    StarTopology,
+    Torus2D,
+)
+
+
+ALL_TOPOLOGIES = [
+    Mesh2D(4, 4),
+    Mesh2D(3, 5),
+    Torus2D(3, 3),
+    FullyConnected(8),
+    RingTopology(7),
+    StarTopology(5),
+]
+
+
+class TestMesh2D:
+    def test_dimensions(self):
+        mesh = Mesh2D(4)
+        assert mesh.rows == mesh.cols == 4
+        assert mesh.n_tiles == 16
+
+    def test_rectangular(self):
+        mesh = Mesh2D(3, 5)
+        assert mesh.n_tiles == 15
+        assert mesh.coordinates(7) == (1, 2)
+        assert mesh.tile_at(1, 2) == 7
+
+    def test_corner_neighbors(self):
+        mesh = Mesh2D(4)
+        assert set(mesh.neighbors(0)) == {1, 4}
+        assert set(mesh.neighbors(15)) == {14, 11}
+
+    def test_interior_neighbors(self):
+        mesh = Mesh2D(4)
+        assert set(mesh.neighbors(5)) == {4, 6, 1, 9}
+
+    def test_manhattan_distance(self):
+        mesh = Mesh2D(4)
+        assert mesh.manhattan_distance(0, 15) == 6
+        assert mesh.manhattan_distance(5, 11) == 3
+        assert mesh.manhattan_distance(3, 3) == 0
+
+    def test_hop_distance_equals_manhattan(self):
+        mesh = Mesh2D(4)
+        for a in range(16):
+            for b in range(16):
+                assert mesh.hop_distance(a, b) == mesh.manhattan_distance(a, b)
+
+    def test_diameter(self):
+        assert Mesh2D(4).diameter() == 6
+        assert Mesh2D(5).diameter() == 8
+
+    def test_link_count(self):
+        # 2 * (rows*(cols-1) + cols*(rows-1)) directed links.
+        mesh = Mesh2D(4)
+        assert mesh.n_links == 2 * (4 * 3 + 4 * 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0)
+        with pytest.raises(ValueError):
+            Mesh2D(4).coordinates(16)
+        with pytest.raises(ValueError):
+            Mesh2D(4).tile_at(4, 0)
+
+
+class TestTorus2D:
+    def test_wraparound(self):
+        torus = Torus2D(3, 3)
+        assert set(torus.neighbors(0)) == {1, 2, 3, 6}
+
+    def test_uniform_degree(self):
+        torus = Torus2D(4, 4)
+        assert all(torus.degree(t) == 4 for t in torus.tile_ids)
+
+    def test_wrapped_distance(self):
+        torus = Torus2D(4, 4)
+        assert torus.manhattan_distance(0, 15) == 2  # wrap both axes
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            Torus2D(2, 2)
+
+
+class TestFullyConnected:
+    def test_degree(self):
+        fc = FullyConnected(10)
+        assert all(fc.degree(t) == 9 for t in fc.tile_ids)
+
+    def test_diameter_one(self):
+        assert FullyConnected(6).diameter() == 1
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            FullyConnected(1)
+
+
+class TestRing:
+    def test_neighbors(self):
+        ring = RingTopology(5)
+        assert set(ring.neighbors(0)) == {4, 1}
+        assert set(ring.neighbors(4)) == {3, 0}
+
+    def test_diameter(self):
+        assert RingTopology(8).diameter() == 4
+        assert RingTopology(7).diameter() == 3
+
+
+class TestStar:
+    def test_hub_and_spokes(self):
+        star = StarTopology(6)
+        assert star.n_tiles == 7
+        assert set(star.neighbors(0)) == set(range(1, 7))
+        assert star.neighbors(3) == (0,)
+
+    def test_diameter_two(self):
+        assert StarTopology(4).diameter() == 2
+
+
+class TestCustomTopology:
+    def test_valid_graph(self):
+        topo = CustomTopology({0: (1,), 1: (0, 2), 2: (1,)})
+        assert topo.n_tiles == 3
+        assert topo.hop_distance(0, 2) == 2
+
+    def test_rejects_dangling_link(self):
+        with pytest.raises(ValueError, match="unknown tile"):
+            CustomTopology({0: (1,), 1: (0, 5)})
+
+    def test_rejects_asymmetric_link(self):
+        with pytest.raises(ValueError, match="reverse"):
+            CustomTopology({0: (1,), 1: ()})
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            CustomTopology({0: (0, 1), 1: (0,)})
+
+    def test_rejects_non_contiguous_ids(self):
+        with pytest.raises(ValueError, match="0..n-1"):
+            CustomTopology({0: (2,), 2: (0,)})
+
+
+class TestSharedInvariants:
+    @pytest.mark.parametrize("topo", ALL_TOPOLOGIES, ids=repr)
+    def test_links_symmetric(self, topo):
+        links = set(topo.links)
+        assert all((b, a) in links for a, b in links)
+
+    @pytest.mark.parametrize("topo", ALL_TOPOLOGIES, ids=repr)
+    def test_links_sorted_and_unique(self, topo):
+        assert topo.links == sorted(set(topo.links))
+
+    @pytest.mark.parametrize("topo", ALL_TOPOLOGIES, ids=repr)
+    def test_connected(self, topo):
+        assert topo.is_connected()
+
+    @pytest.mark.parametrize("topo", ALL_TOPOLOGIES, ids=repr)
+    def test_no_self_neighbors(self, topo):
+        assert all(t not in topo.neighbors(t) for t in topo.tile_ids)
+
+    @pytest.mark.parametrize("topo", ALL_TOPOLOGIES, ids=repr)
+    def test_positions_distinct(self, topo):
+        positions = [topo.position(t) for t in topo.tile_ids]
+        assert len(set(positions)) == len(positions)
+
+    def test_disconnection_detected(self):
+        mesh = Mesh2D(3, 3)
+        # Removing the middle row separates top from bottom.
+        assert not mesh.is_connected(excluding=frozenset({3, 4, 5}))
+        assert mesh.is_connected(excluding=frozenset({4}))
+
+    def test_hop_distance_disconnected_raises(self):
+        topo = CustomTopology({0: (1,), 1: (0,), 2: (3,), 3: (2,)})
+        with pytest.raises(ValueError, match="disconnected"):
+            topo.hop_distance(0, 2)
+
+
+@given(
+    rows=st.integers(min_value=2, max_value=6),
+    cols=st.integers(min_value=2, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_mesh_distance_metric(rows, cols, data):
+    mesh = Mesh2D(rows, cols)
+    a = data.draw(st.integers(0, mesh.n_tiles - 1))
+    b = data.draw(st.integers(0, mesh.n_tiles - 1))
+    c = data.draw(st.integers(0, mesh.n_tiles - 1))
+    dab = mesh.manhattan_distance(a, b)
+    assert dab == mesh.manhattan_distance(b, a)
+    assert (dab == 0) == (a == b)
+    assert dab <= mesh.manhattan_distance(a, c) + mesh.manhattan_distance(c, b)
+
+
+@given(n=st.integers(min_value=3, max_value=30))
+@settings(max_examples=30, deadline=None)
+def test_property_ring_degree_two(n):
+    ring = RingTopology(n)
+    assert all(ring.degree(t) == 2 for t in ring.tile_ids)
+    assert ring.n_links == 2 * n

@@ -1,0 +1,242 @@
+"""Tests for the tracing observer and the designer-analysis tools."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    delivery_probability,
+    latency_profile,
+    minimum_ttl,
+)
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.faults import CrashPlan, FaultConfig
+from repro.noc import Mesh2D, NocSimulator
+from repro.noc.trace import (
+    EventKind,
+    Observer,
+    TraceEvent,
+    TraceRecorder,
+    render_spread,
+)
+from tests.test_engine import OneShotProducer, Sink
+
+
+def _traced_run(fault_config=None, seed=0, recorder=None, protocol=None):
+    recorder = recorder if recorder is not None else TraceRecorder()
+    sim = NocSimulator(
+        Mesh2D(4, 4),
+        protocol or StochasticProtocol(0.5),
+        fault_config,
+        seed=seed,
+        observer=recorder,
+    )
+    sink = Sink()
+    sim.mount(5, OneShotProducer(11))
+    sim.mount(11, sink)
+    result = sim.run(200)
+    return recorder, sim, result
+
+
+class TestTraceRecorder:
+    def test_transmissions_match_stats(self):
+        recorder, _, result = _traced_run()
+        assert (
+            len(recorder.of_kind(EventKind.TRANSMISSION))
+            == result.stats.transmissions_delivered
+        )
+
+    def test_crc_drops_match_stats(self):
+        recorder, _, result = _traced_run(FaultConfig(p_upset=0.3), seed=1)
+        assert (
+            len(recorder.of_kind(EventKind.CRC_DROP))
+            == result.stats.upsets_detected
+        )
+        assert (
+            len(recorder.of_kind(EventKind.UPSET_INJECTED))
+            == result.stats.upsets_injected
+        )
+
+    def test_overflow_drops_match_stats(self):
+        recorder, _, result = _traced_run(FaultConfig(p_overflow=0.4), seed=2)
+        assert (
+            len(recorder.of_kind(EventKind.OVERFLOW_DROP))
+            == result.stats.overflow_drops
+        )
+
+    def test_delivery_round_query(self):
+        recorder, _, result = _traced_run()
+        assert recorder.delivery_round((5, 0), 11) == result.rounds
+
+    def test_message_history_ordered(self):
+        recorder, _, _ = _traced_run()
+        history = recorder.message_history((5, 0))
+        assert history
+        rounds = [event.round_index for event in history]
+        assert rounds == sorted(rounds)
+        assert all(event.key == (5, 0) for event in history)
+
+    def test_round_begins_recorded(self):
+        recorder, _, result = _traced_run()
+        begins = recorder.of_kind(EventKind.ROUND_BEGIN)
+        assert len(begins) == result.rounds + 1
+
+    def test_transmissions_per_round_sums(self):
+        recorder, _, result = _traced_run()
+        per_round = recorder.transmissions_per_round()
+        assert sum(per_round.values()) == result.stats.transmissions_delivered
+
+    def test_max_events_cap(self):
+        recorder = TraceRecorder(max_events=10)
+        _traced_run(recorder=recorder)
+        assert len(recorder.events) == 10
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+
+    def test_dead_link_events(self):
+        recorder = TraceRecorder()
+        sim = NocSimulator(
+            Mesh2D(2, 2),
+            FloodingProtocol(),
+            seed=0,
+            observer=recorder,
+            crash_plan=CrashPlan(dead_links=frozenset({(0, 1)})),
+        )
+        sink = Sink()
+        sim.mount(0, OneShotProducer(3, ttl=4))
+        sim.mount(3, sink)
+        result = sim.run(10)
+        assert (
+            len(recorder.of_kind(EventKind.DEAD_LINK_DROP))
+            == result.stats.dead_link_drops
+            > 0
+        )
+
+    def test_base_observer_is_noop(self):
+        # The no-op Observer must be safely mountable.
+        sim = NocSimulator(
+            Mesh2D(2, 2), FloodingProtocol(), seed=0, observer=Observer()
+        )
+        sim.mount(0, OneShotProducer(3))
+        sim.mount(3, Sink())
+        assert sim.run(10).completed
+
+    def test_event_dataclass_defaults(self):
+        event = TraceEvent(3, EventKind.ROUND_BEGIN)
+        assert event.tile == -1
+        assert event.key is None
+
+
+class TestRenderSpread:
+    def test_mesh_rendering(self):
+        _, sim, _ = _traced_run()
+        art = render_spread(sim)
+        rows = art.splitlines()
+        assert len(rows) == 4
+        assert all(len(row.split()) == 4 for row in rows)
+        assert "#" in art
+
+    def test_crashed_tiles_marked(self):
+        sim = NocSimulator(
+            Mesh2D(2, 2),
+            FloodingProtocol(),
+            seed=0,
+            crash_plan=CrashPlan(dead_tiles=frozenset({1})),
+        )
+        art = render_spread(sim)
+        assert "X" in art
+
+    def test_non_mesh_flat_listing(self):
+        from repro.noc import RingTopology
+
+        sim = NocSimulator(RingTopology(5), FloodingProtocol(), seed=0)
+        art = render_spread(sim)
+        assert art == "....."
+
+
+class TestDeliveryProbability:
+    def test_flooding_certain_on_connected_mesh(self):
+        probability = delivery_probability(
+            Mesh2D(3, 3), 1.0, 0, 8, ttl=6, trials=10
+        )
+        assert probability == 1.0
+
+    def test_monotone_in_ttl(self):
+        mesh = Mesh2D(4, 4)
+        low = delivery_probability(mesh, 0.5, 0, 15, ttl=5, trials=60)
+        high = delivery_probability(mesh, 0.5, 0, 15, ttl=14, trials=60)
+        assert high >= low
+
+    def test_monotone_in_p(self):
+        mesh = Mesh2D(4, 4)
+        sparse = delivery_probability(mesh, 0.3, 0, 15, ttl=8, trials=60)
+        dense = delivery_probability(mesh, 0.9, 0, 15, ttl=8, trials=60)
+        assert dense >= sparse
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delivery_probability(Mesh2D(2, 2), 0.5, 0, 3, ttl=0)
+        with pytest.raises(ValueError):
+            delivery_probability(Mesh2D(2, 2), 0.5, 0, 3, ttl=4, trials=0)
+
+
+class TestMinimumTtl:
+    def test_flooding_needs_distance_plus_one(self):
+        # Fig 3-4 decrements the TTL *before* the send phase, so a packet
+        # must start with distance + 1 to survive its final forwarding.
+        mesh = Mesh2D(4, 4)
+        assert minimum_ttl(mesh, 1.0, 0, 15, trials=10) == 7
+
+    def test_stochastic_needs_headroom(self):
+        mesh = Mesh2D(4, 4)
+        ttl = minimum_ttl(
+            mesh, 0.5, 0, 15, target_probability=0.95, trials=60
+        )
+        assert ttl > 6
+
+    def test_unreachable_raises(self):
+        mesh = Mesh2D(3, 3)
+        with pytest.raises(RuntimeError, match="no TTL"):
+            minimum_ttl(
+                mesh,
+                0.5,
+                0,
+                8,
+                fault_config=FaultConfig(p_overflow=1.0),
+                trials=5,
+                max_ttl=16,
+            )
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            minimum_ttl(Mesh2D(2, 2), 0.5, 0, 3, target_probability=0.0)
+
+
+class TestLatencyProfile:
+    def test_flooding_profile_is_the_distance(self):
+        profile = latency_profile(Mesh2D(4, 4), 1.0, 0, 15, ttl=8, trials=10)
+        assert profile.delivery_rate == 1.0
+        assert profile.rounds_mean == 6.0
+        assert profile.rounds_p95 == 6.0
+
+    def test_stochastic_jitter_visible(self):
+        profile = latency_profile(
+            Mesh2D(4, 4), 0.5, 0, 15, ttl=14, trials=80
+        )
+        assert profile.delivery_rate > 0.9
+        assert profile.rounds_p95 >= profile.rounds_p50 >= 6.0
+
+    def test_total_loss(self):
+        profile = latency_profile(
+            Mesh2D(2, 2),
+            0.5,
+            0,
+            3,
+            ttl=4,
+            fault_config=FaultConfig(p_overflow=1.0),
+            trials=5,
+        )
+        assert profile.delivery_rate == 0.0
+        assert math.isnan(profile.rounds_mean)
