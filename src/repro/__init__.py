@@ -40,6 +40,7 @@ Package map:
 from repro.core.packet import BROADCAST, Packet, PacketFactory
 from repro.core.protocol import FloodingProtocol, StochasticProtocol
 from repro.faults import CrashPlan, FaultConfig, FaultInjector
+from repro.noc.config import SimConfig
 from repro.noc.engine import NocSimulator, SimulationResult
 from repro.noc.tile import IPCore, Tile
 from repro.noc.topology import (
@@ -62,6 +63,7 @@ __all__ = [
     "FaultInjector",
     "CrashPlan",
     "NocSimulator",
+    "SimConfig",
     "SimulationResult",
     "IPCore",
     "Tile",

@@ -85,6 +85,8 @@ def cmd_spread(args: argparse.Namespace) -> int:
         forward_probability=args.p,
         repetitions=args.repetitions,
         seed=args.seed,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print(
         f"{measurement.topology_name}: {measurement.n_tiles} tiles, "
@@ -201,21 +203,20 @@ def cmd_mp3(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
+    from repro.runners import SweepRunner
 
     module = getattr(experiments, args.name)
+    # One shared runner per invocation: two-panel figures reuse the same
+    # worker pool settings and cache directory.
+    runner = SweepRunner(n_workers=args.workers, cache_dir=args.cache_dir)
     print(f"=== {args.name} ===")
-    if args.name == "fig4_10":
-        for point in module.run_overflow():
+    if args.name in ("fig4_10", "fig4_11"):
+        for point in module.run_overflow(runner=runner):
             print(point)
-        for point in module.run_synchronization():
-            print(point)
-    elif args.name == "fig4_11":
-        for point in module.run_overflow():
-            print(point)
-        for point in module.run_synchronization():
+        for point in module.run_synchronization(runner=runner):
             print(point)
     else:
-        outcome = module.run()
+        outcome = module.run(runner=runner)
         if isinstance(outcome, list):
             for row in outcome:
                 print(row)
@@ -225,6 +226,32 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 # -------------------------------------------------------------------- parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
+    """The shared sweep-execution flags (serial, uncached by default)."""
+    subparser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (default: 1, serial; "
+        "results are identical for any worker count)",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache completed simulation tasks in DIR and reuse them "
+        "on rerun (default: no cache)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -247,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     spread.add_argument("--p", type=float, default=0.5)
     spread.add_argument("--repetitions", type=int, default=5)
     spread.add_argument("--seed", type=int, default=0)
+    _add_runner_arguments(spread)
     spread.set_defaults(handler=cmd_spread)
 
     probe = subparsers.add_parser(
@@ -291,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
         "figure", help="regenerate one thesis figure's data"
     )
     figure.add_argument("name", choices=FIGURES)
+    _add_runner_arguments(figure)
     figure.set_defaults(handler=cmd_figure)
 
     return parser

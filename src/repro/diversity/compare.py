@@ -18,6 +18,7 @@ from repro.core.protocol import StochasticProtocol
 from repro.diversity.architectures import Architecture, ArchitectureSpec
 from repro.faults import FaultConfig
 from repro.noc.engine import NocSimulator
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -111,28 +112,42 @@ def compare_architectures(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 2000,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[ArchitectureComparison]:
     """Run the same workload across architectures (Fig 5-3).
 
     Results are averaged over `repetitions` seeded runs per architecture.
     """
+    # Deferred import: repro.experiments.common itself imports from the
+    # diversity package via the experiment modules.
+    from repro.experiments.common import resolve_runner
+
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    rows = []
-    for architecture in architectures:
-        spec = architecture.build()
-        runs = [
-            run_workload(
-                spec,
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    specs = [architecture.build() for architecture in architectures]
+    outcomes = iter(
+        sweep.run(
+            SimTask.call(
+                run_workload,
+                spec=spec,
                 forward_probability=forward_probability,
                 n_sensors=n_sensors,
                 n_frames=n_frames,
                 frame_interval=frame_interval,
                 seed=seed + rep,
                 max_rounds=max_rounds,
+                label=f"fig5_3 {spec.name} rep={rep}",
             )
+            for spec in specs
             for rep in range(repetitions)
-        ]
+        )
+    )
+    rows = []
+    for spec in specs:
+        runs = [next(outcomes) for _ in range(repetitions)]
         n = len(runs)
         rows.append(
             ArchitectureComparison(

@@ -5,6 +5,28 @@ the same series the thesis plots; the benchmarks in ``benchmarks/`` time
 these harnesses, and EXPERIMENTS.md records their output against the
 paper's numbers.  Parameters default to fast, CI-friendly sizes; pass
 larger values to approach the thesis' settings.
+
+Execution convention
+--------------------
+
+Every sweep-running entry point accepts the same three trailing keyword
+arguments, all optional:
+
+* ``n_workers`` (default 1): fan the Monte-Carlo repetitions over this
+  many processes via :class:`repro.runners.SweepRunner`.  Results are
+  bit-identical for any worker count — each repetition is a pure function
+  of its parameters and an explicit per-task seed, and outcomes are
+  consumed in submission order, never completion order.
+* ``runner``: a pre-built :class:`~repro.runners.SweepRunner` to share
+  across calls (its result cache and counters are then shared too).  When
+  given, ``n_workers`` and ``cache_dir`` are ignored.
+* ``cache_dir`` (default None): directory for the on-disk result cache.
+  ``None`` disables caching; with a cache, re-running an identical sweep
+  executes zero new simulations.
+
+Harnesses embed their historical per-repetition seed formulas in the
+submitted tasks, so routed results match the original serial loops
+exactly — the reproduced numbers do not change.
 """
 
 from repro.experiments import (

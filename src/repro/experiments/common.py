@@ -1,0 +1,30 @@
+"""Shared sweep plumbing for the experiment harnesses.
+
+Every ``experiments.*.run(...)`` accepts the same three execution
+keywords (see ``experiments/__init__.py`` for the full convention):
+
+* ``n_workers`` — process-pool size (default 1: serial, the historical
+  behavior);
+* ``cache_dir`` — on-disk memoization directory (default None: off);
+* ``runner`` — a pre-built :class:`repro.runners.SweepRunner` shared
+  across calls (overrides the other two), which lets a batch script pool
+  workers and cache across figures and lets tests inspect the runner's
+  counters.
+
+:func:`resolve_runner` turns those three into the runner to use.
+"""
+
+from __future__ import annotations
+
+from repro.runners import SweepRunner
+
+
+def resolve_runner(
+    runner: SweepRunner | None = None,
+    n_workers: int = 1,
+    cache_dir: str | None = None,
+) -> SweepRunner:
+    """Return `runner` if given, else build one from the scalar knobs."""
+    if runner is not None:
+        return runner
+    return SweepRunner(n_workers=n_workers, cache_dir=cache_dir)

@@ -16,6 +16,8 @@ from repro.core.theory import (
     expected_rounds_to_inform_all,
     simulate_rumor_spread,
 )
+from repro.experiments.common import resolve_runner
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -38,14 +40,26 @@ class SpreadCurve:
 
 
 def run(
-    n: int = 1000, repetitions: int = 5, seed: int = 0
+    n: int = 1000,
+    repetitions: int = 5,
+    seed: int = 0,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> SpreadCurve:
     """Reproduce the Fig 3-1 curve for one population size."""
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    runs = [
-        simulate_rumor_spread(n, seed=seed + rep) for rep in range(repetitions)
-    ]
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    runs = sweep.run(
+        SimTask.call(
+            simulate_rumor_spread,
+            n=n,
+            seed=seed + rep,
+            label=f"fig3_1 n={n} rep={rep}",
+        )
+        for rep in range(repetitions)
+    )
     rounds_to_all = sum(len(counts) - 1 for counts in runs) / len(runs)
     horizon = max(len(counts) for counts in runs)
     # Average informed counts, extending finished runs at n.
@@ -69,6 +83,10 @@ def run_scaling(
     sizes: tuple[int, ...] = (64, 256, 1000, 4096),
     repetitions: int = 3,
     seed: int = 0,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[SpreadCurve]:
     """The §3.1 asymptotic across population sizes."""
-    return [run(n, repetitions, seed) for n in sizes]
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    return [run(n, repetitions, seed, runner=sweep) for n in sizes]

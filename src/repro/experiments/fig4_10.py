@@ -16,10 +16,12 @@ import numpy as np
 
 from repro.apps.base import run_on_noc
 from repro.core.protocol import StochasticProtocol
+from repro.experiments.common import resolve_runner
 from repro.faults import FaultConfig
 from repro.mp3.parallel import ParallelMp3App
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -41,30 +43,28 @@ class FailureImpactPoint:
     latency_rounds_std: float
 
 
-def _measure(
-    config: FaultConfig,
-    axis: str,
-    level: float,
+def _run_impact_rep(
+    fault_config: FaultConfig,
     n_frames: int,
     granule: int,
-    repetitions: int,
     seed: int,
     max_rounds: int,
-) -> FailureImpactPoint:
-    outcomes = []
-    for rep in range(repetitions):
-        run_seed = seed + 31 * rep
-        app = ParallelMp3App(n_frames=n_frames, granule=granule, seed=run_seed)
-        simulator = NocSimulator(
-            Mesh2D(4, 4),
-            StochasticProtocol(0.5),
-            config,
-            seed=run_seed,
-            default_ttl=30,
-        )
-        result = run_on_noc(app, simulator, max_rounds=max_rounds)
-        report = app.report()
-        outcomes.append((report.encoding_complete, result.rounds))
+) -> tuple[bool, int]:
+    """One MP3 run under one fault configuration."""
+    app = ParallelMp3App(n_frames=n_frames, granule=granule, seed=seed)
+    simulator = NocSimulator(
+        Mesh2D(4, 4),
+        StochasticProtocol(0.5),
+        fault_config,
+        seed=seed,
+        default_ttl=30,
+    )
+    result = run_on_noc(app, simulator, max_rounds=max_rounds)
+    report = app.report()
+    return report.encoding_complete, result.rounds
+
+
+def _aggregate(axis: str, level: float, outcomes: list) -> FailureImpactPoint:
     finished = [o for o in outcomes if o[0]]
     pool = finished if finished else outcomes
     rounds = np.array([o[1] for o in pool], dtype=float)
@@ -77,6 +77,40 @@ def _measure(
     )
 
 
+def _sweep_axis(
+    axis: str,
+    configs: list[tuple[float, FaultConfig]],
+    n_frames: int,
+    granule: int,
+    repetitions: int,
+    seed: int,
+    max_rounds: int,
+    n_workers: int,
+    runner: SweepRunner | None,
+    cache_dir: str | None,
+) -> list[FailureImpactPoint]:
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    outcomes = iter(
+        sweep.run(
+            SimTask.call(
+                _run_impact_rep,
+                fault_config=config,
+                n_frames=n_frames,
+                granule=granule,
+                seed=seed + 31 * rep,
+                max_rounds=max_rounds,
+                label=f"fig4_10 {axis}={level} rep={rep}",
+            )
+            for level, config in configs
+            for rep in range(repetitions)
+        )
+    )
+    return [
+        _aggregate(axis, level, [next(outcomes) for _ in range(repetitions)])
+        for level, _ in configs
+    ]
+
+
 def run_overflow(
     levels: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9),
     n_frames: int = 6,
@@ -84,21 +118,23 @@ def run_overflow(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 1500,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[FailureImpactPoint]:
     """The left panel: latency vs buffer-overflow drop probability."""
-    return [
-        _measure(
-            FaultConfig(p_overflow=level),
-            "overflow",
-            level,
-            n_frames,
-            granule,
-            repetitions,
-            seed,
-            max_rounds,
-        )
-        for level in levels
-    ]
+    return _sweep_axis(
+        "overflow",
+        [(level, FaultConfig(p_overflow=level)) for level in levels],
+        n_frames,
+        granule,
+        repetitions,
+        seed,
+        max_rounds,
+        n_workers,
+        runner,
+        cache_dir,
+    )
 
 
 def run_synchronization(
@@ -108,18 +144,20 @@ def run_synchronization(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 1500,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[FailureImpactPoint]:
     """The right panel: latency vs sigma_synchr (jitter, not failure)."""
-    return [
-        _measure(
-            FaultConfig(sigma_synchr=level),
-            "synchronization",
-            level,
-            n_frames,
-            granule,
-            repetitions,
-            seed,
-            max_rounds,
-        )
-        for level in levels
-    ]
+    return _sweep_axis(
+        "synchronization",
+        [(level, FaultConfig(sigma_synchr=level)) for level in levels],
+        n_frames,
+        granule,
+        repetitions,
+        seed,
+        max_rounds,
+        n_workers,
+        runner,
+        cache_dir,
+    )

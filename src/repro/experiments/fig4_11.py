@@ -15,11 +15,13 @@ import numpy as np
 
 from repro.apps.base import run_on_noc
 from repro.core.protocol import StochasticProtocol
+from repro.experiments.common import resolve_runner
 from repro.faults import FaultConfig
 from repro.mp3.decoder import Mp3Decoder, reconstruction_snr_db
 from repro.mp3.parallel import ParallelMp3App
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -42,48 +44,75 @@ class BitratePoint:
     snr_db_mean: float
 
 
-def _measure(
-    config: FaultConfig,
-    axis: str,
-    level: float,
+def _run_bitrate_rep(
+    fault_config: FaultConfig,
     n_frames: int,
     granule: int,
-    repetitions: int,
     seed: int,
     max_rounds: int,
-) -> BitratePoint:
-    bitrates = []
-    losses = []
-    snrs = []
-    for rep in range(repetitions):
-        run_seed = seed + 53 * rep
-        app = ParallelMp3App(n_frames=n_frames, granule=granule, seed=run_seed)
-        simulator = NocSimulator(
-            Mesh2D(4, 4),
-            StochasticProtocol(0.5),
-            config,
-            seed=run_seed,
-            default_ttl=30,
-        )
-        run_on_noc(app, simulator, max_rounds=max_rounds)
-        report = app.report()
-        bitrates.append(report.bitrate_bps)
-        losses.append(report.frames_lost)
-        decoder = Mp3Decoder(granule)
-        reconstruction = decoder.decode(app.output.frames, n_frames)
-        snrs.append(
-            reconstruction_snr_db(app.source.all_frames(), reconstruction)
-        )
-    bitrate_array = np.array(bitrates, dtype=float)
-    finite_snrs = [s for s in snrs if np.isfinite(s)]
+) -> tuple[float, int, float]:
+    """One MP3 run; returns (bitrate_bps, frames_lost, snr_db)."""
+    app = ParallelMp3App(n_frames=n_frames, granule=granule, seed=seed)
+    simulator = NocSimulator(
+        Mesh2D(4, 4),
+        StochasticProtocol(0.5),
+        fault_config,
+        seed=seed,
+        default_ttl=30,
+    )
+    run_on_noc(app, simulator, max_rounds=max_rounds)
+    report = app.report()
+    decoder = Mp3Decoder(granule)
+    reconstruction = decoder.decode(app.output.frames, n_frames)
+    snr = reconstruction_snr_db(app.source.all_frames(), reconstruction)
+    return report.bitrate_bps, report.frames_lost, float(snr)
+
+
+def _aggregate(axis: str, level: float, outcomes: list) -> BitratePoint:
+    bitrate_array = np.array([o[0] for o in outcomes], dtype=float)
+    finite_snrs = [o[2] for o in outcomes if np.isfinite(o[2])]
     return BitratePoint(
         axis=axis,
         level=level,
         bitrate_bps_mean=float(bitrate_array.mean()),
         bitrate_bps_std=float(bitrate_array.std()),
-        frames_lost_mean=float(np.mean(losses)),
+        frames_lost_mean=float(np.mean([o[1] for o in outcomes])),
         snr_db_mean=float(np.mean(finite_snrs)) if finite_snrs else float("-inf"),
     )
+
+
+def _sweep_axis(
+    axis: str,
+    configs: list[tuple[float, FaultConfig]],
+    n_frames: int,
+    granule: int,
+    repetitions: int,
+    seed: int,
+    max_rounds: int,
+    n_workers: int,
+    runner: SweepRunner | None,
+    cache_dir: str | None,
+) -> list[BitratePoint]:
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    outcomes = iter(
+        sweep.run(
+            SimTask.call(
+                _run_bitrate_rep,
+                fault_config=config,
+                n_frames=n_frames,
+                granule=granule,
+                seed=seed + 53 * rep,
+                max_rounds=max_rounds,
+                label=f"fig4_11 {axis}={level} rep={rep}",
+            )
+            for level, config in configs
+            for rep in range(repetitions)
+        )
+    )
+    return [
+        _aggregate(axis, level, [next(outcomes) for _ in range(repetitions)])
+        for level, _ in configs
+    ]
 
 
 def run_overflow(
@@ -93,21 +122,23 @@ def run_overflow(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 1500,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[BitratePoint]:
     """Bit-rate vs overflow drop probability (left panel)."""
-    return [
-        _measure(
-            FaultConfig(p_overflow=level),
-            "overflow",
-            level,
-            n_frames,
-            granule,
-            repetitions,
-            seed,
-            max_rounds,
-        )
-        for level in levels
-    ]
+    return _sweep_axis(
+        "overflow",
+        [(level, FaultConfig(p_overflow=level)) for level in levels],
+        n_frames,
+        granule,
+        repetitions,
+        seed,
+        max_rounds,
+        n_workers,
+        runner,
+        cache_dir,
+    )
 
 
 def run_synchronization(
@@ -117,18 +148,20 @@ def run_synchronization(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 1500,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[BitratePoint]:
     """Bit-rate vs sigma_synchr (right panel)."""
-    return [
-        _measure(
-            FaultConfig(sigma_synchr=level),
-            "synchronization",
-            level,
-            n_frames,
-            granule,
-            repetitions,
-            seed,
-            max_rounds,
-        )
-        for level in levels
-    ]
+    return _sweep_axis(
+        "synchronization",
+        [(level, FaultConfig(sigma_synchr=level)) for level in levels],
+        n_frames,
+        granule,
+        repetitions,
+        seed,
+        max_rounds,
+        n_workers,
+        runner,
+        cache_dir,
+    )

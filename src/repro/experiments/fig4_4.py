@@ -17,9 +17,11 @@ import numpy as np
 from repro.apps.fft2d import Fft2dApp
 from repro.apps.master_slave import MasterSlavePiApp
 from repro.core.protocol import StochasticProtocol
+from repro.experiments.common import resolve_runner
 from repro.faults import FaultConfig, FaultInjector
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
+from repro.runners import SimTask, SweepRunner
 
 #: The thesis' four protocol variants.
 PROBABILITIES = (1.0, 0.75, 0.50, 0.25)
@@ -106,6 +108,9 @@ def run(
     repetitions: int = 5,
     seed: int = 0,
     max_rounds: int = 400,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[CrashSweepPoint]:
     """Sweep (p x crash count) for one application."""
     if application not in _RUNNERS:
@@ -113,24 +118,38 @@ def run(
             f"unknown application {application!r}; expected one of "
             f"{sorted(_RUNNERS)}"
         )
-    runner = _RUNNERS[application]
-    points = []
-    for p in probabilities:
-        for n_dead in dead_tile_counts:
-            outcomes = [
-                runner(p, n_dead, seed + 977 * rep, max_rounds)
-                for rep in range(repetitions)
-            ]
-            finished = [o for o in outcomes if o[0]]
-            pool = finished if finished else outcomes
-            points.append(
-                CrashSweepPoint(
-                    application=application,
-                    forward_probability=p,
-                    n_dead_tiles=n_dead,
-                    completion_rate=len(finished) / len(outcomes),
-                    latency_rounds=sum(o[1] for o in pool) / len(pool),
-                    energy_j=sum(o[2] for o in pool) / len(pool),
-                )
+    run_one = _RUNNERS[application]
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    cells = [
+        (p, n_dead) for p in probabilities for n_dead in dead_tile_counts
+    ]
+    outcomes = iter(
+        sweep.run(
+            SimTask.call(
+                run_one,
+                p=p,
+                n_dead=n_dead,
+                seed=seed + 977 * rep,
+                max_rounds=max_rounds,
+                label=f"fig4_4[{application}] p={p} dead={n_dead} rep={rep}",
             )
+            for p, n_dead in cells
+            for rep in range(repetitions)
+        )
+    )
+    points = []
+    for p, n_dead in cells:
+        cell = [next(outcomes) for _ in range(repetitions)]
+        finished = [o for o in cell if o[0]]
+        pool = finished if finished else cell
+        points.append(
+            CrashSweepPoint(
+                application=application,
+                forward_probability=p,
+                n_dead_tiles=n_dead,
+                completion_rate=len(finished) / len(cell),
+                latency_rounds=sum(o[1] for o in pool) / len(pool),
+                energy_j=sum(o[2] for o in pool) / len(pool),
+            )
+        )
     return points

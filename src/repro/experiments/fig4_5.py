@@ -14,9 +14,11 @@ import numpy as np
 
 from repro.apps.master_slave import MasterSlavePiApp
 from repro.core.protocol import StochasticProtocol
+from repro.experiments.common import resolve_runner
 from repro.faults import FaultConfig, FaultInjector
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -29,6 +31,42 @@ class SurfacePoint:
     latency_rounds: float
 
 
+def _run_surface_rep(
+    n_dead: int,
+    p_upset: float,
+    forward_probability: float,
+    seed: int,
+    max_rounds: int,
+) -> tuple[bool, int]:
+    """One Master-Slave run at one (crashes, p_upset) cell."""
+    app = MasterSlavePiApp.default_5x5(n_slaves=8, duplicate=True, n_terms=200)
+    topology = Mesh2D(5, 5)
+    injector = FaultInjector(
+        FaultConfig.fault_free(), np.random.default_rng(seed)
+    )
+    plan = injector.crash_plan_with_exact_counts(
+        topology.tile_ids,
+        topology.links,
+        n_dead_tiles=n_dead,
+        protected_tiles=app.critical_tiles,
+    )
+    simulator = NocSimulator(
+        topology,
+        StochasticProtocol(forward_probability),
+        FaultConfig(p_upset=p_upset),
+        seed=seed,
+        crash_plan=plan,
+        # Heavy upsets need persistent packets: the protocol survives by
+        # retransmitting, which takes TTL headroom.
+        default_ttl=max_rounds,
+    )
+    app.deploy(simulator)
+    result = simulator.run(
+        max_rounds=max_rounds, until=lambda sim: app.master.complete
+    )
+    return app.master.complete, result.rounds
+
+
 def run(
     dead_tile_counts: tuple[int, ...] = (0, 2, 4),
     upset_levels: tuple[float, ...] = (0.0, 0.3, 0.5, 0.7, 0.9),
@@ -36,51 +74,43 @@ def run(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 2500,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[SurfacePoint]:
     """Sweep the two failure axes on the Master-Slave study."""
-    points = []
-    for n_dead in dead_tile_counts:
-        for p_upset in upset_levels:
-            outcomes = []
-            for rep in range(repetitions):
-                run_seed = seed + 7919 * rep
-                app = MasterSlavePiApp.default_5x5(
-                    n_slaves=8, duplicate=True, n_terms=200
-                )
-                topology = Mesh2D(5, 5)
-                injector = FaultInjector(
-                    FaultConfig.fault_free(), np.random.default_rng(run_seed)
-                )
-                plan = injector.crash_plan_with_exact_counts(
-                    topology.tile_ids,
-                    topology.links,
-                    n_dead_tiles=n_dead,
-                    protected_tiles=app.critical_tiles,
-                )
-                simulator = NocSimulator(
-                    topology,
-                    StochasticProtocol(forward_probability),
-                    FaultConfig(p_upset=p_upset),
-                    seed=run_seed,
-                    crash_plan=plan,
-                    # Heavy upsets need persistent packets: the protocol
-                    # survives by retransmitting, which takes TTL headroom.
-                    default_ttl=max_rounds,
-                )
-                app.deploy(simulator)
-                result = simulator.run(
-                    max_rounds=max_rounds,
-                    until=lambda sim: app.master.complete,
-                )
-                outcomes.append((app.master.complete, result.rounds))
-            finished = [o for o in outcomes if o[0]]
-            pool = finished if finished else outcomes
-            points.append(
-                SurfacePoint(
-                    n_dead_tiles=n_dead,
-                    p_upset=p_upset,
-                    completion_rate=len(finished) / len(outcomes),
-                    latency_rounds=sum(o[1] for o in pool) / len(pool),
-                )
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    cells = [
+        (n_dead, p_upset)
+        for n_dead in dead_tile_counts
+        for p_upset in upset_levels
+    ]
+    outcomes = iter(
+        sweep.run(
+            SimTask.call(
+                _run_surface_rep,
+                n_dead=n_dead,
+                p_upset=p_upset,
+                forward_probability=forward_probability,
+                seed=seed + 7919 * rep,
+                max_rounds=max_rounds,
+                label=f"fig4_5 dead={n_dead} upset={p_upset} rep={rep}",
             )
+            for n_dead, p_upset in cells
+            for rep in range(repetitions)
+        )
+    )
+    points = []
+    for n_dead, p_upset in cells:
+        cell = [next(outcomes) for _ in range(repetitions)]
+        finished = [o for o in cell if o[0]]
+        pool = finished if finished else cell
+        points.append(
+            SurfacePoint(
+                n_dead_tiles=n_dead,
+                p_upset=p_upset,
+                completion_rate=len(finished) / len(cell),
+                latency_rounds=sum(o[1] for o in pool) / len(pool),
+            )
+        )
     return points

@@ -28,9 +28,11 @@ from repro.apps.master_slave import MasterSlavePiApp
 from repro.bus.simulator import BusModel, BusSimulator
 from repro.core.protocol import StochasticProtocol
 from repro.energy.model import TECH_025UM, TechnologyLibrary
+from repro.experiments.common import resolve_runner
 from repro.noc.engine import NocSimulator
 from repro.noc.link import LinkModel
 from repro.noc.topology import Mesh2D
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,42 @@ class BusComparison:
     bus_energy_delay: float
 
 
+def _run_noc_once(
+    forward_probability: float,
+    seed: int,
+    n_terms: int,
+    default_ttl: int,
+    link_frequency_hz: float,
+    link_energy_per_bit_j: float,
+) -> tuple[float, float, float]:
+    """One fault-free NoC run; returns (time_s, mean_hops, gross_ratio)."""
+    app = MasterSlavePiApp.default_5x5(
+        n_slaves=8, duplicate=False, n_terms=n_terms
+    )
+    simulator = NocSimulator(
+        Mesh2D(5, 5),
+        StochasticProtocol(forward_probability),
+        seed=seed,
+        link_model=LinkModel(
+            frequency_hz=link_frequency_hz,
+            energy_per_bit_j=link_energy_per_bit_j,
+        ),
+        default_ttl=default_ttl,
+        # Round period per Eq. 2, sized for this app's packet (~20 B
+        # task/result payloads + header/CRC overhead).
+        payload_bits=160,
+    )
+    app.deploy(simulator)
+    result = simulator.run(max_rounds=500, until=lambda sim: app.master.complete)
+    if not app.master.complete:
+        raise RuntimeError("fault-free NoC run failed to complete")
+    return (
+        result.time_s,
+        result.stats.mean_delivery_hops,
+        result.stats.transmissions_delivered / max(result.stats.deliveries, 1),
+    )
+
+
 def run(
     n_runs: int = 3,
     forward_probability: float = 0.5,
@@ -71,43 +109,30 @@ def run(
     seed: int = 0,
     n_terms: int = 400,
     default_ttl: int = 10,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> BusComparison:
     """Run the workload on both substrates and assemble the comparison."""
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
-    link = LinkModel(
-        frequency_hz=technology.link_frequency_hz,
-        energy_per_bit_j=technology.link_energy_per_bit_j,
-    )
-    noc_latencies = []
-    noc_path_hops = []
-    noc_gross_ratio = []  # transmissions per delivered-path hop
-    for run_index in range(n_runs):
-        app = MasterSlavePiApp.default_5x5(
-            n_slaves=8, duplicate=False, n_terms=n_terms
-        )
-        simulator = NocSimulator(
-            Mesh2D(5, 5),
-            StochasticProtocol(forward_probability),
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    noc_runs = sweep.run(
+        SimTask.call(
+            _run_noc_once,
+            forward_probability=forward_probability,
             seed=seed + run_index,
-            link_model=link,
+            n_terms=n_terms,
             default_ttl=default_ttl,
-            # Round period per Eq. 2, sized for this app's packet (~20 B
-            # task/result payloads + header/CRC overhead).
-            payload_bits=160,
+            link_frequency_hz=technology.link_frequency_hz,
+            link_energy_per_bit_j=technology.link_energy_per_bit_j,
+            label=f"fig4_6 noc run={run_index}",
         )
-        app.deploy(simulator)
-        result = simulator.run(
-            max_rounds=500, until=lambda sim: app.master.complete
-        )
-        if not app.master.complete:
-            raise RuntimeError("fault-free NoC run failed to complete")
-        noc_latencies.append(result.time_s)
-        noc_path_hops.append(result.stats.mean_delivery_hops)
-        noc_gross_ratio.append(
-            result.stats.transmissions_delivered
-            / max(result.stats.deliveries, 1)
-        )
+        for run_index in range(n_runs)
+    )
+    noc_latencies = [time_s for time_s, _, _ in noc_runs]
+    noc_path_hops = [hops for _, hops, _ in noc_runs]
+    noc_gross_ratio = [ratio for _, _, ratio in noc_runs]
 
     bus_app = MasterSlavePiApp.default_5x5(
         n_slaves=8, duplicate=False, n_terms=n_terms

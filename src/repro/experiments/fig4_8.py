@@ -13,10 +13,12 @@ from dataclasses import dataclass
 
 from repro.apps.base import run_on_noc
 from repro.core.protocol import StochasticProtocol
+from repro.experiments.common import resolve_runner
 from repro.faults import FaultConfig
 from repro.mp3.parallel import ParallelMp3App
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -30,36 +32,57 @@ class LatencyCell:
     frames_lost: float
 
 
-def run_cell(
+def _run_cell_rep(
     forward_probability: float,
     p_upset: float,
-    n_frames: int = 6,
-    granule: int = 144,
-    repetitions: int = 2,
-    seed: int = 0,
-    max_rounds: int = 1200,
+    n_frames: int,
+    granule: int,
+    seed: int,
+    max_rounds: int,
+) -> tuple[bool, int, int]:
+    """One MP3 encoding run at one (p, p_upset) cell."""
+    app = ParallelMp3App(n_frames=n_frames, granule=granule, seed=seed)
+    simulator = NocSimulator(
+        Mesh2D(4, 4),
+        StochasticProtocol(forward_probability),
+        FaultConfig(p_upset=p_upset),
+        seed=seed,
+        # Upset survival needs TTL headroom (copies are consumed by
+        # scrambling and must be replaced by retransmissions).
+        default_ttl=40,
+    )
+    result = run_on_noc(app, simulator, max_rounds=max_rounds)
+    report = app.report()
+    return report.encoding_complete, result.rounds, report.frames_lost
+
+
+def _cell_tasks(
+    forward_probability: float,
+    p_upset: float,
+    n_frames: int,
+    granule: int,
+    repetitions: int,
+    seed: int,
+    max_rounds: int,
+) -> list[SimTask]:
+    return [
+        SimTask.call(
+            _run_cell_rep,
+            forward_probability=forward_probability,
+            p_upset=p_upset,
+            n_frames=n_frames,
+            granule=granule,
+            seed=seed + 104_729 * rep,
+            max_rounds=max_rounds,
+            label=f"fig4_8 p={forward_probability} upset={p_upset} rep={rep}",
+        )
+        for rep in range(repetitions)
+    ]
+
+
+def _aggregate_cell(
+    forward_probability: float, p_upset: float, outcomes: list
 ) -> LatencyCell:
-    """Measure one cell of the latency surface."""
-    outcomes = []
-    for rep in range(repetitions):
-        run_seed = seed + 104_729 * rep
-        app = ParallelMp3App(
-            n_frames=n_frames, granule=granule, seed=run_seed
-        )
-        simulator = NocSimulator(
-            Mesh2D(4, 4),
-            StochasticProtocol(forward_probability),
-            FaultConfig(p_upset=p_upset),
-            seed=run_seed,
-            # Upset survival needs TTL headroom (copies are consumed by
-            # scrambling and must be replaced by retransmissions).
-            default_ttl=40,
-        )
-        result = run_on_noc(app, simulator, max_rounds=max_rounds)
-        report = app.report()
-        outcomes.append(
-            (report.encoding_complete, result.rounds, report.frames_lost)
-        )
     finished = [o for o in outcomes if o[0]]
     pool = finished if finished else outcomes
     return LatencyCell(
@@ -71,6 +94,34 @@ def run_cell(
     )
 
 
+def run_cell(
+    forward_probability: float,
+    p_upset: float,
+    n_frames: int = 6,
+    granule: int = 144,
+    repetitions: int = 2,
+    seed: int = 0,
+    max_rounds: int = 1200,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
+) -> LatencyCell:
+    """Measure one cell of the latency surface."""
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    outcomes = sweep.run(
+        _cell_tasks(
+            forward_probability,
+            p_upset,
+            n_frames,
+            granule,
+            repetitions,
+            seed,
+            max_rounds,
+        )
+    )
+    return _aggregate_cell(forward_probability, p_upset, outcomes)
+
+
 def run(
     probabilities: tuple[float, ...] = (1.0, 0.75, 0.5, 0.25),
     upset_levels: tuple[float, ...] = (0.0, 0.3, 0.6),
@@ -79,18 +130,26 @@ def run(
     repetitions: int = 2,
     seed: int = 0,
     max_rounds: int = 1200,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[LatencyCell]:
-    """Sweep the (p x p_upset) grid."""
-    return [
-        run_cell(
-            p,
-            p_upset,
-            n_frames=n_frames,
-            granule=granule,
-            repetitions=repetitions,
-            seed=seed,
-            max_rounds=max_rounds,
+    """Sweep the (p x p_upset) grid.
+
+    The whole grid — every cell's repetitions — is submitted as one task
+    batch, so parallel workers stay busy across cell boundaries.
+    """
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    cells = [(p, p_upset) for p in probabilities for p_upset in upset_levels]
+    tasks = [
+        task
+        for p, p_upset in cells
+        for task in _cell_tasks(
+            p, p_upset, n_frames, granule, repetitions, seed, max_rounds
         )
-        for p in probabilities
-        for p_upset in upset_levels
+    ]
+    outcomes = iter(sweep.run(tasks))
+    return [
+        _aggregate_cell(p, p_upset, [next(outcomes) for _ in range(repetitions)])
+        for p, p_upset in cells
     ]

@@ -13,9 +13,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.protocol import StochasticProtocol
+from repro.experiments.common import resolve_runner
 from repro.mp3.parallel import ParallelMp3App
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -28,6 +30,36 @@ class EnergyPoint:
     latency_rounds: float
 
 
+def _run_energy_rep(
+    forward_probability: float,
+    n_frames: int,
+    granule: int,
+    seed: int,
+    max_rounds: int,
+) -> tuple[float, int, int]:
+    """One MP3 run at one p; returns (energy_j, transmissions, rounds)."""
+    app = ParallelMp3App(n_frames=n_frames, granule=granule, seed=seed)
+    simulator = NocSimulator(
+        Mesh2D(4, 4),
+        StochasticProtocol(forward_probability),
+        seed=seed,
+        # Low p needs patience: fix the TTL across the sweep so the
+        # energy comparison is apples-to-apples.
+        default_ttl=40,
+    )
+    app.deploy(simulator)
+    # Energy is a per-message lifetime quantity: run until every buffered
+    # copy has aged out, not merely until the app's logical completion,
+    # so each p is charged its full gossip cost (this is what makes
+    # Fig 4-9 ~linear in p).
+    result = simulator.run(
+        max_rounds=max_rounds,
+        until=lambda sim: sim.application_complete()
+        and not any(tile.send_buffer for tile in sim.tiles.values()),
+    )
+    return result.energy_j, result.stats.transmissions_delivered, result.rounds
+
+
 def run(
     probabilities: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0),
     n_frames: int = 6,
@@ -35,47 +67,36 @@ def run(
     repetitions: int = 2,
     seed: int = 0,
     max_rounds: int = 2500,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[EnergyPoint]:
     """Measure energy (and latency) across p, fault-free."""
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    outcomes = iter(
+        sweep.run(
+            SimTask.call(
+                _run_energy_rep,
+                forward_probability=p,
+                n_frames=n_frames,
+                granule=granule,
+                seed=seed + 613 * rep,
+                max_rounds=max_rounds,
+                label=f"fig4_9 p={p} rep={rep}",
+            )
+            for p in probabilities
+            for rep in range(repetitions)
+        )
+    )
     points = []
     for p in probabilities:
-        energies = []
-        transmissions = []
-        rounds = []
-        for rep in range(repetitions):
-            run_seed = seed + 613 * rep
-            app = ParallelMp3App(
-                n_frames=n_frames, granule=granule, seed=run_seed
-            )
-            simulator = NocSimulator(
-                Mesh2D(4, 4),
-                StochasticProtocol(p),
-                seed=run_seed,
-                # Low p needs patience: fix the TTL across the sweep so the
-                # energy comparison is apples-to-apples.
-                default_ttl=40,
-            )
-            app.deploy(simulator)
-            # Energy is a per-message lifetime quantity: run until every
-            # buffered copy has aged out, not merely until the app's
-            # logical completion, so each p is charged its full gossip
-            # cost (this is what makes Fig 4-9 ~linear in p).
-            result = simulator.run(
-                max_rounds=max_rounds,
-                until=lambda sim: sim.application_complete()
-                and not any(
-                    tile.send_buffer for tile in sim.tiles.values()
-                ),
-            )
-            energies.append(result.energy_j)
-            transmissions.append(result.stats.transmissions_delivered)
-            rounds.append(result.rounds)
+        reps = [next(outcomes) for _ in range(repetitions)]
         points.append(
             EnergyPoint(
                 forward_probability=p,
-                energy_j=float(np.mean(energies)),
-                transmissions=float(np.mean(transmissions)),
-                latency_rounds=float(np.mean(rounds)),
+                energy_j=float(np.mean([r[0] for r in reps])),
+                transmissions=float(np.mean([r[1] for r in reps])),
+                latency_rounds=float(np.mean([r[2] for r in reps])),
             )
         )
     return points

@@ -17,6 +17,7 @@ from repro.diversity.architectures import (
     HierarchicalNoc,
 )
 from repro.diversity.compare import ArchitectureComparison, compare_architectures
+from repro.runners import SweepRunner
 
 
 def run(
@@ -28,6 +29,9 @@ def run(
     include_central_router: bool = False,
     seed: int = 0,
     max_rounds: int = 4000,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[ArchitectureComparison]:
     """Run the Fig 5-3 comparison.
 
@@ -49,4 +53,7 @@ def run(
         repetitions=repetitions,
         seed=seed,
         max_rounds=max_rounds,
+        n_workers=n_workers,
+        runner=runner,
+        cache_dir=cache_dir,
     )

@@ -16,9 +16,11 @@ import numpy as np
 
 from repro.core.packet import BROADCAST
 from repro.core.protocol import StochasticProtocol
+from repro.experiments.common import resolve_runner
 from repro.noc.engine import NocSimulator
 from repro.noc.tile import IPCore, TileContext
 from repro.noc.topology import FullyConnected, Mesh2D, Topology, Torus2D
+from repro.runners import SimTask, SweepRunner
 
 
 class _BroadcastSeed(IPCore):
@@ -58,6 +60,34 @@ class SpreadMeasurement:
     informed_curve: list[float]
 
 
+def _spread_once(
+    topology: Topology,
+    forward_probability: float,
+    origin: int,
+    seed: int,
+    max_rounds: int,
+) -> tuple[bool, int, list[float]]:
+    """One broadcast run; returns (completed, rounds, informed curve)."""
+    n = topology.n_tiles
+    simulator = NocSimulator(
+        topology,
+        StochasticProtocol(forward_probability),
+        seed=seed,
+        default_ttl=max_rounds,
+    )
+    simulator.mount(origin, _BroadcastSeed(ttl=max_rounds))
+    result = simulator.run(
+        max_rounds,
+        until=lambda sim: len(sim.informed_tiles()) == n,
+    )
+    curve = []
+    informed = 1
+    for round_index in range(result.rounds + 1):
+        informed += result.stats.per_round_informed.get(round_index, 0)
+        curve.append(float(informed))
+    return result.completed, result.rounds, curve
+
+
 def measure_spread(
     topology: Topology,
     forward_probability: float = 0.5,
@@ -66,35 +96,36 @@ def measure_spread(
     seed: int = 0,
     max_rounds: int = 200,
     name: str | None = None,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> SpreadMeasurement:
     """Broadcast from `origin` and measure rounds to full saturation."""
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    label = name or repr(topology)
+    outcomes = sweep.run(
+        SimTask.call(
+            _spread_once,
+            topology=topology,
+            forward_probability=forward_probability,
+            origin=origin,
+            seed=seed + rep,
+            max_rounds=max_rounds,
+            label=f"grid_spread {label} rep={rep}",
+        )
+        for rep in range(repetitions)
+    )
     n = topology.n_tiles
     saturation_rounds = []
     curves = []
     completions = 0
-    for rep in range(repetitions):
-        simulator = NocSimulator(
-            topology,
-            StochasticProtocol(forward_probability),
-            seed=seed + rep,
-            default_ttl=max_rounds,
-        )
-        simulator.mount(origin, _BroadcastSeed(ttl=max_rounds))
-        result = simulator.run(
-            max_rounds,
-            until=lambda sim: len(sim.informed_tiles()) == n,
-        )
-        curve = np.ones(result.rounds + 1)
-        informed = 1
-        for round_index in range(result.rounds + 1):
-            informed += result.stats.per_round_informed.get(round_index, 0)
-            curve[round_index] = informed
+    for completed, rounds, curve in outcomes:
         curves.append(curve)
-        if result.completed:
+        if completed:
             completions += 1
-            saturation_rounds.append(result.rounds)
+            saturation_rounds.append(rounds)
     horizon = max(len(c) for c in curves)
     mean_curve = [
         float(
@@ -118,29 +149,25 @@ def run(
     forward_probability: float = 0.5,
     repetitions: int = 5,
     seed: int = 0,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[SpreadMeasurement]:
     """Compare mesh / torus / complete-graph saturation at n = side^2."""
     n = side * side
+    sweep = resolve_runner(runner, n_workers, cache_dir)
     return [
         measure_spread(
-            FullyConnected(n),
+            topology,
             forward_probability,
             repetitions=repetitions,
             seed=seed,
-            name="fully connected",
-        ),
-        measure_spread(
-            Torus2D(side, side),
-            forward_probability,
-            repetitions=repetitions,
-            seed=seed,
-            name="torus",
-        ),
-        measure_spread(
-            Mesh2D(side, side),
-            forward_probability,
-            repetitions=repetitions,
-            seed=seed,
-            name="mesh",
-        ),
+            name=name,
+            runner=sweep,
+        )
+        for topology, name in (
+            (FullyConnected(n), "fully connected"),
+            (Torus2D(side, side), "torus"),
+            (Mesh2D(side, side), "mesh"),
+        )
     ]

@@ -18,8 +18,10 @@ from dataclasses import dataclass
 from repro.apps.master_slave import MasterSlavePiApp
 from repro.core.protocol import StochasticProtocol
 from repro.diversity.islands import Island, IslandPlan
+from repro.experiments.common import resolve_runner
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,35 @@ def _island_plan(mesh: Mesh2D, voltage: float) -> IslandPlan:
     return IslandPlan([Island("low-power", members, voltage_scale=voltage)])
 
 
+def _run_island_rep(
+    islanded: bool,
+    island_voltage: float,
+    forward_probability: float,
+    n_terms: int,
+    seed: int,
+    max_rounds: int,
+) -> tuple[int, float]:
+    """One Master-Slave run, uniform or islanded; returns (rounds, energy)."""
+    mesh = Mesh2D(5, 5)
+    plan = _island_plan(mesh, island_voltage)
+    link_energy = plan.link_energy_overrides(mesh.links, 2.4e-10)
+    link_delays = plan.link_delay_overrides(mesh.links)
+    app = MasterSlavePiApp.default_5x5(n_terms=n_terms)
+    simulator = NocSimulator(
+        mesh,
+        StochasticProtocol(forward_probability),
+        seed=seed,
+        default_ttl=24,
+        link_energy_overrides=link_energy if islanded else None,
+        link_delays=link_delays if islanded else None,
+    )
+    app.deploy(simulator)
+    result = simulator.run(max_rounds, until=lambda sim: app.master.complete)
+    if not app.master.complete:
+        raise RuntimeError("island workload failed to complete")
+    return result.rounds, result.energy_j
+
+
 def run(
     island_voltage: float = 0.6,
     forward_probability: float = 0.5,
@@ -70,35 +101,30 @@ def run(
     n_terms: int = 400,
     seed: int = 0,
     max_rounds: int = 500,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> IslandComparison:
     """Measure the energy/latency trade of one island partition."""
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    mesh = Mesh2D(5, 5)
-    plan = _island_plan(mesh, island_voltage)
-    link_energy = plan.link_energy_overrides(mesh.links, 2.4e-10)
-    link_delays = plan.link_delay_overrides(mesh.links)
-
-    def run_once(islanded: bool, run_seed: int) -> tuple[int, float]:
-        app = MasterSlavePiApp.default_5x5(n_terms=n_terms)
-        simulator = NocSimulator(
-            mesh,
-            StochasticProtocol(forward_probability),
-            seed=run_seed,
-            default_ttl=24,
-            link_energy_overrides=link_energy if islanded else None,
-            link_delays=link_delays if islanded else None,
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    outcomes = sweep.run(
+        SimTask.call(
+            _run_island_rep,
+            islanded=islanded,
+            island_voltage=island_voltage,
+            forward_probability=forward_probability,
+            n_terms=n_terms,
+            seed=seed + rep,
+            max_rounds=max_rounds,
+            label=f"islands {'islanded' if islanded else 'uniform'} rep={rep}",
         )
-        app.deploy(simulator)
-        result = simulator.run(
-            max_rounds, until=lambda sim: app.master.complete
-        )
-        if not app.master.complete:
-            raise RuntimeError("island workload failed to complete")
-        return result.rounds, result.energy_j
-
-    uniform = [run_once(False, seed + rep) for rep in range(repetitions)]
-    islanded = [run_once(True, seed + rep) for rep in range(repetitions)]
+        for islanded in (False, True)
+        for rep in range(repetitions)
+    )
+    uniform = outcomes[:repetitions]
+    islanded = outcomes[repetitions:]
     n = repetitions
     return IslandComparison(
         island_voltage=island_voltage,
@@ -113,9 +139,13 @@ def run_voltage_sweep(
     voltages: tuple[float, ...] = (1.0, 0.8, 0.6, 0.5),
     repetitions: int = 3,
     seed: int = 0,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[IslandComparison]:
     """The island design space: deeper undervolting saves more, costs more."""
+    sweep = resolve_runner(runner, n_workers, cache_dir)
     return [
-        run(island_voltage=v, repetitions=repetitions, seed=seed)
+        run(island_voltage=v, repetitions=repetitions, seed=seed, runner=sweep)
         for v in voltages
     ]

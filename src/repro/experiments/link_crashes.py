@@ -17,9 +17,11 @@ import numpy as np
 
 from repro.apps.master_slave import MasterSlavePiApp
 from repro.core.protocol import StochasticProtocol
+from repro.experiments.common import resolve_runner
 from repro.faults import FaultConfig, FaultInjector
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
+from repro.runners import SimTask, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -32,6 +34,34 @@ class LinkCrashPoint:
     dead_link_drops: float
 
 
+def _run_link_crash_rep(
+    n_dead_links: int,
+    forward_probability: float,
+    n_terms: int,
+    seed: int,
+    max_rounds: int,
+) -> tuple[bool, int, int]:
+    """One Master-Slave run with exactly n_dead_links crashed links."""
+    mesh = Mesh2D(5, 5)
+    app = MasterSlavePiApp.default_5x5(n_terms=n_terms)
+    injector = FaultInjector(
+        FaultConfig.fault_free(), np.random.default_rng(seed)
+    )
+    plan = injector.crash_plan_with_exact_counts(
+        mesh.tile_ids, mesh.links, n_dead_links=n_dead_links
+    )
+    simulator = NocSimulator(
+        mesh,
+        StochasticProtocol(forward_probability),
+        seed=seed,
+        crash_plan=plan,
+        default_ttl=24,
+    )
+    app.deploy(simulator)
+    result = simulator.run(max_rounds, until=lambda sim: app.master.complete)
+    return app.master.complete, result.rounds, result.stats.dead_link_drops
+
+
 def run(
     dead_link_counts: tuple[int, ...] = (0, 4, 8, 16, 24),
     forward_probability: float = 0.5,
@@ -39,41 +69,32 @@ def run(
     n_terms: int = 300,
     seed: int = 0,
     max_rounds: int = 400,
+    n_workers: int = 1,
+    runner: SweepRunner | None = None,
+    cache_dir: str | None = None,
 ) -> list[LinkCrashPoint]:
     """Sweep dead directed links on the 5x5 Master-Slave study."""
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    mesh = Mesh2D(5, 5)
+    sweep = resolve_runner(runner, n_workers, cache_dir)
+    results = iter(
+        sweep.run(
+            SimTask.call(
+                _run_link_crash_rep,
+                n_dead_links=n_dead,
+                forward_probability=forward_probability,
+                n_terms=n_terms,
+                seed=seed + 4999 * rep,
+                max_rounds=max_rounds,
+                label=f"link_crashes dead={n_dead} rep={rep}",
+            )
+            for n_dead in dead_link_counts
+            for rep in range(repetitions)
+        )
+    )
     points = []
     for n_dead in dead_link_counts:
-        outcomes = []
-        for rep in range(repetitions):
-            run_seed = seed + 4999 * rep
-            app = MasterSlavePiApp.default_5x5(n_terms=n_terms)
-            injector = FaultInjector(
-                FaultConfig.fault_free(), np.random.default_rng(run_seed)
-            )
-            plan = injector.crash_plan_with_exact_counts(
-                mesh.tile_ids, mesh.links, n_dead_links=n_dead
-            )
-            simulator = NocSimulator(
-                mesh,
-                StochasticProtocol(forward_probability),
-                seed=run_seed,
-                crash_plan=plan,
-                default_ttl=24,
-            )
-            app.deploy(simulator)
-            result = simulator.run(
-                max_rounds, until=lambda sim: app.master.complete
-            )
-            outcomes.append(
-                (
-                    app.master.complete,
-                    result.rounds,
-                    result.stats.dead_link_drops,
-                )
-            )
+        outcomes = [next(results) for _ in range(repetitions)]
         finished = [o for o in outcomes if o[0]]
         pool = finished if finished else outcomes
         points.append(

@@ -18,6 +18,7 @@ from repro.noc.topology import (
 )
 from repro.noc.link import LinkModel
 from repro.noc.clock import ClockDomain
+from repro.noc.config import SimConfig
 from repro.noc.tile import IPCore, Tile, TileState
 from repro.noc.engine import NocSimulator, SimulationResult
 from repro.noc.mapping import (
@@ -44,6 +45,7 @@ __all__ = [
     "Tile",
     "TileState",
     "NocSimulator",
+    "SimConfig",
     "SimulationResult",
     "XYRoutingProtocol",
     "CommunicationGraph",

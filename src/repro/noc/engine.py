@@ -37,6 +37,7 @@ from repro.core.protocol import StochasticProtocol
 from repro.crc import CRC, CRC16_CCITT
 from repro.faults import CrashPlan, FaultConfig, FaultInjector
 from repro.noc.clock import ClockDomain
+from repro.noc.config import SimConfig
 from repro.noc.link import DEFAULT_LINK, LinkModel
 from repro.noc.stats import NetworkStats
 from repro.noc.tile import IPCore, Tile, TileContext
@@ -114,6 +115,11 @@ class NocSimulator:
         observer: optional :class:`repro.noc.trace.Observer` whose hooks
             fire on every transmission, drop and delivery (tracing,
             visualization, custom metrics).
+
+    Everything except ``seed`` and ``observer`` is configuration: the
+    constructor packs it into a frozen :class:`repro.noc.config.SimConfig`
+    (exposed as :attr:`config`) and delegates to :meth:`from_config`.
+    Sweep harnesses build the config once and stamp out seeded replicas.
     """
 
     def __init__(
@@ -138,32 +144,95 @@ class NocSimulator:
         bus_tiles: frozenset[int] | set[int] = frozenset(),
         observer: Observer | None = None,
     ) -> None:
-        self.topology = topology
-        self.protocol = protocol
-        self.fault_config = fault_config or FaultConfig.fault_free()
-        self.link_model = link_model
-        self.crc = crc
-        self.rng = np.random.default_rng(seed)
-        self.injector = FaultInjector(self.fault_config, self.rng, payload_bits)
+        config = SimConfig(
+            topology=topology,
+            protocol=protocol,
+            fault_config=fault_config,
+            link_model=link_model,
+            default_ttl=default_ttl,
+            buffer_capacity=buffer_capacity,
+            buffer_mode=buffer_mode,
+            crc=crc,
+            nominal_round_s=nominal_round_s,
+            payload_bits=payload_bits,
+            crash_plan=crash_plan,
+            protected_tiles=frozenset(protected_tiles),
+            link_delays=link_delays or {},
+            link_energy_overrides=link_energy_overrides or {},
+            egress_limits=egress_limits or {},
+            bus_tiles=frozenset(bus_tiles),
+        )
+        self._init_from_config(config, seed=seed, observer=observer)
 
+    @classmethod
+    def from_config(
+        cls,
+        config: SimConfig,
+        *,
+        seed: int | None = None,
+        observer: Observer | None = None,
+    ) -> "NocSimulator":
+        """Build a simulator from a frozen :class:`SimConfig`.
+
+        ``seed`` and ``observer`` are runtime concerns, not configuration:
+        the same config replayed with the same seed reproduces a run
+        bit-for-bit, and different seeds give independent repetitions of
+        the same experiment.
+        """
+        if not isinstance(config, SimConfig):
+            raise TypeError(
+                f"from_config expects a SimConfig, got {type(config).__name__}"
+            )
+        simulator = cls.__new__(cls)
+        simulator._init_from_config(config, seed=seed, observer=observer)
+        return simulator
+
+    @property
+    def config(self) -> SimConfig:
+        """The frozen configuration this simulator was built from."""
+        return self._config
+
+    def _init_from_config(
+        self,
+        config: SimConfig,
+        *,
+        seed: int | None,
+        observer: Observer | None,
+    ) -> None:
+        self._config = config
+        topology = config.topology
+        self.topology = topology
+        self.protocol = config.protocol
+        self.fault_config = config.fault_config
+        self.link_model = config.link_model
+        self.crc = config.crc
+        self.rng = np.random.default_rng(seed)
+        self.injector = FaultInjector(
+            self.fault_config, self.rng, config.payload_bits
+        )
+
+        default_ttl = config.default_ttl
         if default_ttl is None:
             n = topology.n_tiles
             diameter = topology.diameter() if n <= 128 else int(2 * np.sqrt(n))
             default_ttl = diameter + int(np.ceil(np.log2(max(n, 2)))) + 2
         self.default_ttl = default_ttl
 
+        nominal_round_s = config.nominal_round_s
         if nominal_round_s is None:
             # Eq. 2 with N_packets/round = 1 at the nominal payload size.
-            size_bits = payload_bits + 8 * (16 + crc.n_check_bytes)
-            nominal_round_s = link_model.transfer_time_s(size_bits)
+            size_bits = config.payload_bits + 8 * (16 + self.crc.n_check_bytes)
+            nominal_round_s = self.link_model.transfer_time_s(size_bits)
         self.nominal_round_s = nominal_round_s
 
         self.tiles: dict[int, Tile] = {
             tid: Tile(
                 tid,
-                factory=PacketFactory(tid, default_ttl=default_ttl, crc=crc),
-                buffer_capacity=buffer_capacity,
-                buffer_mode=buffer_mode,
+                factory=PacketFactory(
+                    tid, default_ttl=default_ttl, crc=self.crc
+                ),
+                buffer_capacity=config.buffer_capacity,
+                buffer_mode=config.buffer_mode,
             )
             for tid in topology.tile_ids
         }
@@ -173,9 +242,10 @@ class NocSimulator:
         }
         self.stats = NetworkStats()
 
+        crash_plan = config.crash_plan
         if crash_plan is None:
             crash_plan = self.injector.draw_crash_plan(
-                topology.tile_ids, topology.links, protected_tiles
+                topology.tile_ids, topology.links, config.protected_tiles
             )
         self.crash_plan = crash_plan
         for tid in crash_plan.dead_tiles:
@@ -196,14 +266,10 @@ class NocSimulator:
         )
         self._dynamic_dead_links: set[tuple[int, int]] = set()
 
-        self.link_delays = dict(link_delays or {})
-        if any(delay < 1 for delay in self.link_delays.values()):
-            raise ValueError("link delays must be >= 1 round")
-        self.link_energy_overrides = dict(link_energy_overrides or {})
-        self.egress_limits = dict(egress_limits or {})
-        if any(limit < 1 for limit in self.egress_limits.values()):
-            raise ValueError("egress limits must be >= 1")
-        self.bus_tiles = frozenset(bus_tiles)
+        self.link_delays = dict(config.link_delays)
+        self.link_energy_overrides = dict(config.link_energy_overrides)
+        self.egress_limits = dict(config.egress_limits)
+        self.bus_tiles = config.bus_tiles
         self.observer = observer
 
     # ------------------------------------------------------------- app setup

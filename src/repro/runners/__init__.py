@@ -1,0 +1,34 @@
+"""Parallel sweep execution with deterministic seeding and result caching.
+
+The experiment harnesses in :mod:`repro.experiments` are Monte-Carlo
+sweeps of independent simulations; this package runs them fast:
+
+* :class:`SimTask` — a picklable, content-hashable spec of one call;
+* :class:`SweepRunner` — fans tasks over a ``ProcessPoolExecutor``
+  (serial by default), memoizes results on disk, and derives per-task
+  seeds via ``numpy.random.SeedSequence.spawn`` so a sweep's numbers are
+  bit-identical at any worker count;
+* :class:`ResultCache` — the atomic, content-addressed pickle store.
+
+See ``docs/runners.md`` for the seeding scheme, the cache-key contract
+and worker-count guidance.
+"""
+
+from repro.runners.cache import ResultCache
+from repro.runners.hashing import canonical, digest
+from repro.runners.runner import (
+    CACHE_SCHEMA_VERSION,
+    SimTask,
+    SweepRunner,
+    spawn_seeds,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "SimTask",
+    "SweepRunner",
+    "canonical",
+    "digest",
+    "spawn_seeds",
+]

@@ -1,0 +1,91 @@
+"""On-disk memoization of completed sweep tasks.
+
+One cache entry per task, stored as a pickle file named by the task's
+content hash (see :meth:`repro.runners.runner.SimTask.cache_key`): any
+change to the task's function, parameters or seed changes the file name,
+so stale entries are never *returned* — they are simply orphaned and can
+be cleared wholesale.  Writes go through a temp file + ``os.replace`` so
+concurrent workers or an interrupted run never leave a torn entry behind;
+unreadable entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Iterator
+
+_SUFFIX = ".pkl"
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISS = object()
+
+
+class ResultCache:
+    """A directory of pickled task results keyed by content hash.
+
+    Args:
+        root: cache directory; created (with parents) if missing.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return the cached result for `key`, or `default`."""
+        value = self._load(key)
+        return default if value is _MISS else value
+
+    def __contains__(self, key: str) -> bool:
+        return self._load(key) is not _MISS
+
+    def lookup(self, key: str) -> tuple[bool, Any]:
+        """Return ``(hit, value)`` — one disk read, None-safe."""
+        value = self._load(key)
+        if value is _MISS:
+            return False, None
+        return True, value
+
+    def _load(self, key: str) -> Any:
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return _MISS
+        except Exception:  # torn/corrupt entry: a miss, not an error
+            return _MISS
+
+    def put(self, key: str, value: Any) -> None:
+        """Store `value` under `key` atomically."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob(f"*{_SUFFIX}")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry, returning the number removed."""
+        removed = 0
+        for path in self.root.glob(f"*{_SUFFIX}"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache({str(self.root)!r})"

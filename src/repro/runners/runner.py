@@ -1,0 +1,289 @@
+"""The process-parallel sweep runner.
+
+Every thesis figure is a Monte-Carlo sweep — repetitions x fault levels x
+forward probabilities — whose individual simulations are independent.
+:class:`SweepRunner` executes such a sweep as a batch of
+:class:`SimTask` specs:
+
+* **parallel** — tasks fan out over a ``ProcessPoolExecutor`` when
+  ``n_workers > 1``, with a transparent serial fallback when process
+  pools are unavailable (sandboxes without ``/dev/shm``, missing
+  ``sem_open``, …);
+* **deterministic** — a task's result depends only on its spec.  Task
+  functions receive an explicit ``seed`` (either carried by the spec or
+  derived from the runner's ``base_seed`` via
+  ``numpy.random.SeedSequence.spawn`` by task *index*), so results are
+  bit-identical regardless of worker count or completion order;
+* **memoized** — with a ``cache_dir``, completed tasks are stored on
+  disk keyed by a content hash of the spec (function, parameters, seed);
+  a warm-cache rerun of a sweep executes zero new simulations, which the
+  :attr:`SweepRunner.tasks_executed` counter makes checkable.
+
+Task functions must be module-level (importable by qualified name, so
+workers can unpickle them) and pure given their parameters and seed: no
+reads of global mutable state, no dependence on execution order.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.runners.cache import ResultCache
+from repro.runners.hashing import digest
+
+#: Bump when the task execution semantics change in a way that makes old
+#: cached results unreplayable (participates in every cache key).
+CACHE_SCHEMA_VERSION = 1
+
+
+def _qualified_name(fn: Callable[..., Any]) -> str:
+    name = f"{fn.__module__}:{fn.__qualname__}"
+    if "<" in name or "." in fn.__qualname__:
+        raise ValueError(
+            f"task functions must be module-level (picklable by qualified "
+            f"name); got {name!r}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One picklable, content-hashable unit of sweep work.
+
+    Attributes:
+        fn: the task function as ``"module:function"`` — resolved by
+            import in the worker process, so the spec itself stays tiny.
+        params: keyword arguments for the call.  Values must be
+            canonicalisable by :mod:`repro.runners.hashing` (primitives,
+            containers, dataclasses, ``SimConfig``/``Topology``/…).
+        seed: explicit RNG seed passed to the function as ``seed=``;
+            ``None`` lets the runner derive one from its ``base_seed``
+            (or call the function without a seed argument if the runner
+            has no ``base_seed`` either).
+        label: free-form display tag; excluded from the cache key.
+    """
+
+    fn: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    label: str = ""
+
+    @classmethod
+    def call(
+        cls,
+        fn: Callable[..., Any],
+        *,
+        seed: int | None = None,
+        label: str = "",
+        **params: Any,
+    ) -> "SimTask":
+        """Spec the call ``fn(**params, seed=seed)``.
+
+        >>> from repro.core.theory import simulate_rumor_spread
+        >>> task = SimTask.call(simulate_rumor_spread, n=64, seed=3)
+        >>> task.fn
+        'repro.core.theory:simulate_rumor_spread'
+        """
+        return cls(
+            fn=_qualified_name(fn), params=dict(params), seed=seed, label=label
+        )
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the task function."""
+        module_name, _, attr = self.fn.partition(":")
+        module = importlib.import_module(module_name)
+        try:
+            return getattr(module, attr)
+        except AttributeError:
+            raise ValueError(
+                f"task function {self.fn!r} not found; sweep task functions "
+                "must be module-level"
+            ) from None
+
+    def execute(self) -> Any:
+        """Run the task in the current process."""
+        kwargs = dict(self.params)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return self.resolve()(**kwargs)
+
+    def cache_key(self) -> str:
+        """Content hash of (schema version, function, params, seed)."""
+        return digest(
+            (CACHE_SCHEMA_VERSION, self.fn, dict(self.params), self.seed)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimTask):
+            return NotImplemented
+        return (
+            self.fn == other.fn
+            and dict(self.params) == dict(other.params)
+            and self.seed == other.seed
+        )
+
+
+def _execute_task(task: SimTask) -> Any:
+    """Module-level trampoline so the pool pickles only the task spec."""
+    return task.execute()
+
+
+def spawn_seeds(base_seed: int | None, n: int) -> list[int]:
+    """Derive `n` independent task seeds from one base seed.
+
+    Uses ``numpy.random.SeedSequence.spawn``: child *i*'s stream is
+    statistically independent of every sibling and depends only on
+    ``(base_seed, i)`` — never on worker count or scheduling — so a sweep
+    seeded this way is reproducible bit-for-bit in serial and parallel.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    children = np.random.SeedSequence(base_seed).spawn(n)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+class SweepRunner:
+    """Executes batches of :class:`SimTask` with caching and parallelism.
+
+    Args:
+        n_workers: process-pool size; ``1`` (the default) runs serially
+            in-process, so existing callers see unchanged behavior.
+        cache_dir: directory for the on-disk result cache; ``None``
+            disables memoization.
+        base_seed: root of the ``SeedSequence`` used to fill in seeds for
+            tasks that do not carry one.
+
+    Attributes:
+        tasks_submitted: total tasks handed to :meth:`run`.
+        tasks_executed: tasks that actually ran a simulation (cache
+            misses); a warm-cache rerun leaves this at 0.
+        cache_hits: tasks satisfied from the on-disk cache.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        cache_dir: str | None = None,
+        base_seed: int | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.base_seed = base_seed
+        self.tasks_submitted = 0
+        self.tasks_executed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ api
+
+    def run(self, tasks: Iterable[SimTask]) -> list[Any]:
+        """Execute `tasks`, returning results in task order.
+
+        Cached results are loaded without executing anything; the rest
+        run serially or on the process pool.  Results are always ordered
+        like the input regardless of completion order.
+        """
+        ordered = self._assign_seeds(list(tasks))
+        self.tasks_submitted += len(ordered)
+        results: list[Any] = [None] * len(ordered)
+        pending: list[tuple[int, SimTask, str | None]] = []
+        for index, task in enumerate(ordered):
+            key = task.cache_key() if self.cache is not None else None
+            if key is not None:
+                hit, value = self.cache.lookup(key)
+                if hit:
+                    self.cache_hits += 1
+                    results[index] = value
+                    continue
+            pending.append((index, task, key))
+
+        if pending:
+            for (index, _, key), value in zip(
+                pending, self._execute_batch([t for _, t, _ in pending])
+            ):
+                self.tasks_executed += 1
+                if key is not None:
+                    self.cache.put(key, value)
+                results[index] = value
+        return results
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        param_sets: Iterable[Mapping[str, Any]],
+        seeds: Sequence[int | None] | None = None,
+    ) -> list[Any]:
+        """Convenience wrapper: one task per parameter mapping.
+
+        >>> runner = SweepRunner()
+        >>> from repro.core.theory import simulate_rumor_spread
+        >>> curves = runner.map(
+        ...     simulate_rumor_spread, [{"n": 32}, {"n": 64}], seeds=[1, 2]
+        ... )
+        >>> [curve[0] for curve in curves]
+        [1, 1]
+        """
+        sets = list(param_sets)
+        if seeds is None:
+            seed_list: Sequence[int | None] = [None] * len(sets)
+        else:
+            seed_list = list(seeds)
+            if len(seed_list) != len(sets):
+                raise ValueError(
+                    f"got {len(seed_list)} seeds for {len(sets)} param sets"
+                )
+        return self.run(
+            SimTask.call(fn, seed=seed, **params)
+            for params, seed in zip(sets, seed_list)
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _assign_seeds(self, tasks: list[SimTask]) -> list[SimTask]:
+        """Fill in missing task seeds from `base_seed`, by task index.
+
+        Seeds are a function of (base_seed, position in the batch) only,
+        so the same batch always gets the same seeds — independent of
+        worker count, scheduling, or which results were cached.
+        """
+        if self.base_seed is None or all(t.seed is not None for t in tasks):
+            return tasks
+        derived = spawn_seeds(self.base_seed, len(tasks))
+        return [
+            task if task.seed is not None else replace(task, seed=derived[i])
+            for i, task in enumerate(tasks)
+        ]
+
+    def _execute_batch(self, tasks: list[SimTask]) -> list[Any]:
+        if self.n_workers == 1 or len(tasks) == 1:
+            return [_execute_task(task) for task in tasks]
+        try:
+            workers = min(self.n_workers, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_execute_task, tasks))
+        except (OSError, PermissionError, ImportError) as error:
+            # Environments without working process pools (no /dev/shm,
+            # missing sem_open, ...) degrade to serial execution.
+            warnings.warn(
+                f"process pool unavailable ({error}); running sweep serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [_execute_task(task) for task in tasks]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cache = self.cache.root if self.cache is not None else None
+        return (
+            f"SweepRunner(n_workers={self.n_workers}, cache_dir={cache!r}, "
+            f"executed={self.tasks_executed}, hits={self.cache_hits})"
+        )

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    """An isolated, empty on-disk result-cache directory.
+
+    Each test gets its own directory so cache hits can never leak
+    between tests (or between repeated runs of the same test).
+    """
+    path = tmp_path / "sweep_cache"
+    path.mkdir()
+    return path

@@ -1,0 +1,184 @@
+"""Tests for the frozen SimConfig and the config-object simulator API."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.packet import BROADCAST
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.faults import CrashPlan, FaultConfig
+from repro.noc.config import SimConfig
+from repro.noc.engine import NocSimulator
+from repro.noc.tile import IPCore
+from repro.noc.topology import Mesh2D, Torus2D
+
+
+class _Broadcaster(IPCore):
+    def __init__(self, ttl=30):
+        self.ttl = ttl
+        self.sent = False
+
+    def on_start(self, ctx):
+        ctx.send(BROADCAST, b"rumor", ttl=self.ttl)
+        self.sent = True
+
+    @property
+    def complete(self):
+        return self.sent
+
+
+def _config(**overrides):
+    defaults = dict(
+        topology=Mesh2D(4, 4),
+        protocol=StochasticProtocol(0.5),
+        fault_config=FaultConfig(p_upset=0.1),
+        default_ttl=20,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+def _broadcast_result(simulator, max_rounds=60):
+    simulator.mount(0, _Broadcaster())
+    n = simulator.topology.n_tiles
+    result = simulator.run(
+        max_rounds, until=lambda sim: len(sim.informed_tiles()) == n
+    )
+    return (
+        result.completed,
+        result.rounds,
+        result.energy_j,
+        result.stats.transmissions_delivered,
+        result.stats.upsets_detected,
+    )
+
+
+class TestConstruction:
+    def test_normalises_none_fault_config(self):
+        config = SimConfig(Mesh2D(2, 2), StochasticProtocol(0.5))
+        assert config.fault_config == FaultConfig.fault_free()
+
+    def test_normalises_container_fields(self):
+        config = SimConfig(
+            Mesh2D(2, 2),
+            StochasticProtocol(0.5),
+            protected_tiles=[0, 1],
+            bus_tiles=(3,),
+            link_delays=None,
+        )
+        assert config.protected_tiles == frozenset({0, 1})
+        assert config.bus_tiles == frozenset({3})
+        assert config.link_delays == {}
+
+    def test_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _config().payload_bits = 1
+
+    def test_with_returns_modified_copy(self):
+        config = _config()
+        changed = config.with_(payload_bits=64)
+        assert changed.payload_bits == 64
+        assert config.payload_bits == 512
+        assert changed != config
+
+    @pytest.mark.parametrize(
+        "overrides, message",
+        [
+            (dict(buffer_mode="hoard"), "buffer_mode"),
+            (dict(buffer_capacity=0), "buffer_capacity"),
+            (dict(default_ttl=0), "default_ttl"),
+            (dict(nominal_round_s=0.0), "nominal_round_s"),
+            (dict(payload_bits=0), "payload_bits"),
+            (dict(link_delays={(0, 1): 0}), "link delays"),
+            (dict(egress_limits={0: 0}), "egress limits"),
+        ],
+    )
+    def test_validation(self, overrides, message):
+        with pytest.raises(ValueError, match=message):
+            _config(**overrides)
+
+
+class TestEqualityAndToken:
+    def test_content_equality_across_instances(self):
+        assert _config() == _config()
+        assert hash(_config()) == hash(_config())
+
+    def test_any_field_change_changes_token(self):
+        base = _config()
+        for changed in (
+            base.with_(topology=Torus2D(4, 4)),
+            base.with_(protocol=FloodingProtocol()),
+            base.with_(fault_config=FaultConfig(p_upset=0.2)),
+            base.with_(default_ttl=21),
+            base.with_(buffer_capacity=4),
+            base.with_(buffer_mode="relay"),
+            base.with_(nominal_round_s=1e-6),
+            base.with_(payload_bits=256),
+            base.with_(crash_plan=CrashPlan(dead_tiles=frozenset({5}))),
+            base.with_(protected_tiles=frozenset({1})),
+            base.with_(link_delays={(0, 1): 3}),
+            base.with_(link_energy_overrides={(0, 1): 1e-10}),
+            base.with_(egress_limits={0: 1}),
+            base.with_(bus_tiles=frozenset({2})),
+        ):
+            assert changed.cache_token() != base.cache_token()
+            assert changed != base
+
+    def test_pickle_round_trip_preserves_identity(self):
+        config = _config(
+            crash_plan=CrashPlan(dead_tiles=frozenset({3})),
+            link_delays={(0, 1): 2},
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.cache_token() == config.cache_token()
+        assert hash(clone) == hash(config)
+
+
+class TestSimulatorIntegration:
+    def test_kwargs_constructor_exposes_config(self):
+        simulator = NocSimulator(
+            Mesh2D(3, 3),
+            StochasticProtocol(0.5),
+            FaultConfig(p_upset=0.05),
+            seed=1,
+            default_ttl=15,
+            payload_bits=128,
+        )
+        config = simulator.config
+        assert isinstance(config, SimConfig)
+        assert config.default_ttl == 15
+        assert config.payload_bits == 128
+        assert config.fault_config == FaultConfig(p_upset=0.05)
+
+    def test_from_config_matches_kwargs_constructor(self):
+        kwargs_run = _broadcast_result(
+            NocSimulator(
+                Mesh2D(4, 4),
+                StochasticProtocol(0.5),
+                FaultConfig(p_upset=0.1),
+                seed=9,
+                default_ttl=20,
+            )
+        )
+        config_run = _broadcast_result(
+            NocSimulator.from_config(_config(), seed=9)
+        )
+        assert kwargs_run == config_run
+
+    def test_round_trip_from_extracted_config(self):
+        simulator = NocSimulator.from_config(_config(), seed=4)
+        replay = NocSimulator.from_config(simulator.config, seed=4)
+        assert _broadcast_result(simulator) == _broadcast_result(replay)
+
+    def test_config_survives_pickling_into_identical_run(self):
+        config = _config()
+        clone = pickle.loads(pickle.dumps(config))
+        assert _broadcast_result(
+            NocSimulator.from_config(config, seed=2)
+        ) == _broadcast_result(NocSimulator.from_config(clone, seed=2))
+
+    def test_from_config_rejects_non_config(self):
+        with pytest.raises(TypeError):
+            NocSimulator.from_config(Mesh2D(2, 2), seed=0)
