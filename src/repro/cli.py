@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the common workflows without writing a script:
+Six commands cover the common workflows without writing a script:
 
 * ``info`` — version and package map;
 * ``spread`` — broadcast a rumor on a topology, print the saturation
@@ -9,7 +9,9 @@ Five commands cover the common workflows without writing a script:
   minimum-TTL search for one unicast pair (the designer tools);
 * ``mp3`` — run the Fig 4-7 parallel encoder under a chosen fault level
   and report frames, bit-rate and SNR;
-* ``figure`` — regenerate one thesis figure's data series.
+* ``figure`` — regenerate one thesis figure's data series;
+* ``policies`` — list the registered forwarding policies, or run the
+  four-policy fault-sweep comparison (``repro policies compare``).
 """
 
 from __future__ import annotations
@@ -70,9 +72,9 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {repro.__version__} — On-Chip Stochastic Communication")
     print("(Dumitras & Marculescu, DATE 2003 / CMU MS thesis 2003)")
     print()
-    print("packages: core noc faults crc bus energy apps mp3 diversity "
-          "experiments")
-    print("commands: info spread probe mp3 figure")
+    print("packages: core noc policies faults crc bus energy apps mp3 "
+          "diversity experiments")
+    print("commands: info spread probe mp3 figure policies")
     return 0
 
 
@@ -201,6 +203,44 @@ def cmd_mp3(args: argparse.Namespace) -> int:
     return 0 if report.encoding_complete else 1
 
 
+def cmd_policies_list(args: argparse.Namespace) -> int:
+    import inspect
+
+    from repro.policies import POLICY_REGISTRY
+
+    del args
+    print("registered forwarding policies (repro.policies):")
+    for kind in sorted(POLICY_REGISTRY):
+        cls = POLICY_REGISTRY[kind]
+        signature = inspect.signature(cls.__init__)
+        params = ", ".join(
+            f"{p.name}={p.default!r}" if p.default is not p.empty else p.name
+            for p in signature.parameters.values()
+            if p.name != "self"
+        )
+        print(f"  {kind:<12} {cls.__name__}({params})")
+    return 0
+
+
+def cmd_policies_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import policy_compare
+
+    points = policy_compare.run(
+        side=args.side,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    print(
+        f"four-policy broadcast comparison on a {args.side}x{args.side} "
+        f"mesh ({args.repetitions} repetitions per cell)"
+    )
+    print(policy_compare.format_table(points))
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
     from repro.runners import SweepRunner
@@ -321,6 +361,28 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=FIGURES)
     _add_runner_arguments(figure)
     figure.set_defaults(handler=cmd_figure)
+
+    policies = subparsers.add_parser(
+        "policies", help="forwarding-policy tools (repro.policies)"
+    )
+    policy_actions = policies.add_subparsers(dest="action", required=True)
+
+    policies_list = policy_actions.add_parser(
+        "list", help="list the registered policy kinds and their knobs"
+    )
+    policies_list.set_defaults(handler=cmd_policies_list)
+
+    compare = policy_actions.add_parser(
+        "compare",
+        help="run the four-policy fault sweep (upsets, overflows, "
+        "link crashes) and print the comparison table",
+    )
+    compare.add_argument("--side", type=_positive_int, default=4)
+    compare.add_argument("--repetitions", type=_positive_int, default=5)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--max-rounds", type=_positive_int, default=48)
+    _add_runner_arguments(compare)
+    compare.set_defaults(handler=cmd_policies_compare)
 
     return parser
 

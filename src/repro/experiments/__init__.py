@@ -43,6 +43,7 @@ from repro.experiments import (
     islands,
     link_crashes,
     plots,
+    policy_compare,
     report,
 )
 
@@ -60,5 +61,6 @@ __all__ = [
     "islands",
     "link_crashes",
     "plots",
+    "policy_compare",
     "report",
 ]

@@ -29,6 +29,11 @@ from repro.crc import CRC, CRC16_CCITT
 from repro.faults import CrashPlan, FaultConfig
 from repro.noc.link import DEFAULT_LINK, LinkModel
 from repro.noc.topology import Topology
+from repro.policies.base import (
+    ForwardingPolicy,
+    LegacyProtocolPolicy,
+    PolicySpec,
+)
 
 # --------------------------------------------------------------- describers
 #
@@ -46,7 +51,12 @@ def describe_topology(topology: Topology) -> tuple:
     )
 
 
-def describe_protocol(protocol: StochasticProtocol) -> tuple:
+def describe_protocol(protocol: StochasticProtocol | PolicySpec) -> tuple:
+    if isinstance(protocol, PolicySpec):
+        # Policy-native configs: the spec's canonical tuple.  Distinct
+        # policies (or the same policy with different parameters) can
+        # therefore never alias in the cache.
+        return protocol.describe()
     return (
         type(protocol).__name__,
         protocol.forward_probability,
@@ -101,7 +111,7 @@ class SimConfig:
     """
 
     topology: Topology
-    protocol: StochasticProtocol
+    protocol: StochasticProtocol | ForwardingPolicy | PolicySpec
     fault_config: FaultConfig | None = None
     link_model: LinkModel = DEFAULT_LINK
     default_ttl: int | None = None
@@ -122,6 +132,13 @@ class SimConfig:
     def __post_init__(self) -> None:
         # Normalise the permissive constructor types to canonical ones so
         # equality/hashing do not depend on how the caller spelled them.
+        # Stateful policy objects normalise to their frozen PolicySpec: the
+        # config stays picklable and run-independent, and the engine builds
+        # a fresh policy instance per run (no state leaks between runs).
+        if isinstance(self.protocol, LegacyProtocolPolicy):
+            object.__setattr__(self, "protocol", self.protocol.protocol)
+        elif isinstance(self.protocol, ForwardingPolicy):
+            object.__setattr__(self, "protocol", self.protocol.spec)
         if self.fault_config is None:
             object.__setattr__(self, "fault_config", FaultConfig.fault_free())
         object.__setattr__(

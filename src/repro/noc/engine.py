@@ -43,6 +43,12 @@ from repro.noc.stats import NetworkStats
 from repro.noc.tile import IPCore, Tile, TileContext
 from repro.noc.topology import Topology
 from repro.noc.trace import Observer
+from repro.policies.base import (
+    ForwardingPolicy,
+    LegacyProtocolPolicy,
+    PolicySpec,
+    build_policy,
+)
 
 
 @dataclass(frozen=True)
@@ -77,7 +83,13 @@ class NocSimulator:
 
     Args:
         topology: tile interconnect graph.
-        protocol: forwarding policy (stochastic or flooding).
+        protocol: the forwarding rule.  Either a legacy protocol object
+            (:class:`repro.core.protocol.StochasticProtocol` and friends,
+            run bit-identically to the pre-policy engine) or a
+            :class:`repro.policies.PolicySpec` /
+            :class:`repro.policies.ForwardingPolicy` from the pluggable
+            policy subsystem (Bernoulli, flood, counter gossip,
+            adaptive — see ``docs/policies.md``).
         fault_config: the Ch. 2 failure model; defaults to fault-free.
         seed: seed for the single RNG driving every stochastic element.
         link_model: electrical link parameters (timing + energy).
@@ -125,7 +137,7 @@ class NocSimulator:
     def __init__(
         self,
         topology: Topology,
-        protocol: StochasticProtocol,
+        protocol: StochasticProtocol | ForwardingPolicy | PolicySpec,
         fault_config: FaultConfig | None = None,
         *,
         seed: int | None = None,
@@ -202,7 +214,17 @@ class NocSimulator:
         self._config = config
         topology = config.topology
         self.topology = topology
-        self.protocol = config.protocol
+        if isinstance(config.protocol, PolicySpec):
+            # Policy-native run: build a fresh, zero-state policy instance
+            # from the frozen spec (state never leaks between runs).
+            self.policy: ForwardingPolicy = build_policy(config.protocol)
+            self.protocol = self.policy
+        else:
+            # Legacy protocol objects go through a thin adapter whose batch
+            # path delegates verbatim — bit-identical to the old engine.
+            self.protocol = config.protocol
+            self.policy = LegacyProtocolPolicy(config.protocol)
+        self.policy.reset()
         self.fault_config = config.fault_config
         self.link_model = config.link_model
         self.crc = config.crc
@@ -344,6 +366,7 @@ class NocSimulator:
         final_round = max_rounds
         for round_index in range(max_rounds):
             self.current_round = round_index
+            self.policy.on_round_begin(round_index)
             if self.observer is not None:
                 self.observer.on_round_begin(round_index)
             self._receive_phase(round_index)
@@ -396,7 +419,14 @@ class NocSimulator:
                     and not packet.is_intact()
                 ):
                     self.observer.on_crc_drop(round_index, tile_id, packet)
+                duplicates_before = self.stats.duplicates_suppressed
                 delivered = tile.receive(packet, self.stats)
+                if self.stats.duplicates_suppressed > duplicates_before:
+                    # The tile suppressed an intact duplicate — the signal
+                    # counter-based gossip policies count against k.
+                    self.policy.on_duplicate_received(
+                        tile_id, packet, round_index
+                    )
                 if delivered is not None and tile.alive:
                     if self.observer is not None:
                         self.observer.on_delivery(
@@ -452,11 +482,18 @@ class NocSimulator:
                     tile_id, packets, neighbors, sender_end, round_index, budget
                 )
                 continue
+            occupancy = len(tile.send_buffer)
             for packet in packets:
                 if budget is not None and budget <= 0:
                     break
-                decisions = self.protocol.decide(
-                    packet, neighbors, self.rng, tile_id=tile_id
+                decisions = self.policy.decisions(
+                    packet,
+                    neighbors,
+                    self.rng,
+                    tile_id=tile_id,
+                    round_index=round_index,
+                    buffer_occupancy=occupancy,
+                    buffer_capacity=tile.buffer_capacity,
                 )
                 for decision in decisions:
                     if not decision.transmit:
@@ -468,6 +505,7 @@ class NocSimulator:
                     dst = decision.neighbor
                     if not self._link_alive(tile_id, dst):
                         self.stats.record_dead_link()
+                        self.policy.on_dead_link(tile_id, dst, round_index)
                         if self.observer is not None:
                             self.observer.on_dead_link_drop(
                                 round_index, tile_id, dst
@@ -516,6 +554,7 @@ class NocSimulator:
             for dst in neighbors:
                 if not self._link_alive(tile_id, dst):
                     self.stats.record_dead_link()
+                    self.policy.on_dead_link(tile_id, dst, round_index)
                     if self.observer is not None:
                         self.observer.on_dead_link_drop(
                             round_index, tile_id, dst

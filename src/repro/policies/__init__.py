@@ -1,0 +1,51 @@
+"""repro.policies — pluggable forwarding policies for the NoC engine.
+
+The forwarding rule (which buffered packet leaves on which link each
+round) is a first-class, swappable component.  Four policies ship here:
+
+* :class:`BernoulliPolicy` — the thesis' Bernoulli(p)-per-port rule
+  (§3.2.2), extracted from the engine; the default and the
+  bit-identical equal of the historical
+  :class:`repro.core.protocol.StochasticProtocol`;
+* :class:`FloodPolicy` — deterministic flooding, the p = 1 reference;
+* :class:`CounterGossipPolicy` — counter-based ("death certificate")
+  gossip: a tile stops forwarding a message after k duplicate
+  receptions (arXiv:1209.6158);
+* :class:`AdaptiveProbabilityPolicy` — per-tile p modulated by local
+  buffer occupancy and observed dead-link drops (arXiv:1811.11262).
+
+Configuration travels as a frozen, picklable :class:`PolicySpec` (stored
+in :class:`repro.noc.config.SimConfig` and hashed into sweep cache keys);
+each simulator run builds a fresh stateful policy via
+:func:`build_policy`.  See ``docs/policies.md`` for the interface
+contract and how to add a policy.
+"""
+
+from repro.policies.adaptive import AdaptiveProbabilityPolicy
+from repro.policies.base import (
+    POLICY_REGISTRY,
+    ForwardingPolicy,
+    LegacyProtocolPolicy,
+    PolicyContext,
+    PolicySpec,
+    build_policy,
+    make_policy,
+    register_policy,
+)
+from repro.policies.bernoulli import BernoulliPolicy, FloodPolicy
+from repro.policies.counter import CounterGossipPolicy
+
+__all__ = [
+    "POLICY_REGISTRY",
+    "ForwardingPolicy",
+    "LegacyProtocolPolicy",
+    "PolicyContext",
+    "PolicySpec",
+    "build_policy",
+    "make_policy",
+    "register_policy",
+    "BernoulliPolicy",
+    "FloodPolicy",
+    "CounterGossipPolicy",
+    "AdaptiveProbabilityPolicy",
+]

@@ -1,0 +1,318 @@
+"""The pluggable forwarding-policy interface.
+
+The thesis treats the forwarding probability *p* as the protocol's single
+knob (§3.2.2): every buffered packet is offered to every output port and
+an RND circuit fires with probability *p*.  The rumor-spreading literature
+since then has produced markedly smarter dissemination rules — counter
+("median rule") gossip that silences a rumor after *k* duplicate
+receptions (arXiv:1209.6158), and congestion/fault-adaptive forwarding
+(arXiv:1811.11262).  This package makes the forwarding rule a first-class,
+swappable component so those variants (and future routing experiments) run
+on the unmodified engine.
+
+Contract
+--------
+
+A :class:`ForwardingPolicy` is a *stateful, per-run* object.  The engine
+drives it through four hooks:
+
+* :meth:`ForwardingPolicy.on_round_begin` — once per gossip round, before
+  any traffic of that round moves;
+* :meth:`ForwardingPolicy.decide` — once per (packet, output link) pair
+  during the send phase; returning True transmits a copy on that link;
+* :meth:`ForwardingPolicy.on_duplicate_received` — whenever a tile's
+  receive path suppresses an intact duplicate (the signal counter-based
+  gossip feeds on);
+* :meth:`ForwardingPolicy.on_dead_link` — whenever a transmission vanishes
+  on a crashed link (the signal fault-adaptive policies feed on).
+
+Because policies are stateful, *configuration* is carried separately by a
+frozen, picklable :class:`PolicySpec`: sweep harnesses and
+:class:`repro.noc.config.SimConfig` store the spec, and every simulator
+run builds a fresh policy instance via :func:`build_policy`, so no state
+ever leaks between runs and cached sweep results can never alias across
+policies (the spec participates in the config's content hash).
+
+Performance note: :meth:`ForwardingPolicy.decisions` is the engine-facing
+batch entry point (one call per packet per round).  Its default loops over
+ports calling :meth:`decide`; policies with a vectorisable rule override
+it (see :class:`repro.policies.bernoulli.BernoulliPolicy`) — the per-link
+``decide`` stays the semantic contract either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.protocol import ForwardDecision, StochasticProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.packet import Packet
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """What a policy may observe when deciding one (packet, link) pair.
+
+    Attributes:
+        tile_id: the forwarding tile.
+        round_index: current gossip round.
+        rng: the simulation's single RNG (policies must draw all
+            randomness from it so runs stay seed-reproducible).
+        neighbors: the tile's full output-port neighbor tuple.
+        buffer_occupancy: packets currently in the tile's send-buffer.
+        buffer_capacity: the buffer bound, or None when unbounded.
+    """
+
+    tile_id: int
+    round_index: int
+    rng: np.random.Generator
+    neighbors: tuple[int, ...]
+    buffer_occupancy: int = 0
+    buffer_capacity: int | None = None
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Frozen, picklable description of one policy configuration.
+
+    Attributes:
+        kind: registry name of the policy class ("bernoulli", "flood",
+            "counter", "adaptive", ...).
+        params: constructor keyword arguments as a sorted tuple of
+            ``(name, value)`` pairs — tuple form keeps the spec hashable
+            and its repr deterministic (it feeds cache tokens).
+    """
+
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "PolicySpec":
+        """Build a spec from keyword arguments.
+
+        >>> PolicySpec.of("bernoulli", forward_probability=0.5).kind
+        'bernoulli'
+        """
+        return cls(kind=kind, params=tuple(sorted(params.items())))
+
+    def as_dict(self) -> dict[str, Any]:
+        """The params as a plain keyword dict."""
+        return dict(self.params)
+
+    def build(self) -> "ForwardingPolicy":
+        """Instantiate a fresh (zero-state) policy from this spec."""
+        return build_policy(self)
+
+    @property
+    def name(self) -> str:
+        """Human-readable label used in experiment tables."""
+        if not self.params:
+            return self.kind
+        inner = ", ".join(f"{key}={value:g}" if isinstance(value, float)
+                          else f"{key}={value}" for key, value in self.params)
+        return f"{self.kind}({inner})"
+
+    def describe(self) -> tuple:
+        """Canonical tuple form for content hashing (cache keys)."""
+        return ("PolicySpec", self.kind, self.params)
+
+
+class ForwardingPolicy:
+    """Base class for per-run forwarding policies.
+
+    Subclasses set :attr:`kind`, implement :meth:`decide`, and return
+    their constructor arguments from :meth:`spec_params`; the stateful
+    ones also override :meth:`reset` (called once by the engine before
+    round 0) and whichever observation hooks they feed on.
+    """
+
+    #: Registry name; subclasses registered via :func:`register_policy`.
+    kind: str = ""
+
+    # ------------------------------------------------------------- identity
+
+    def spec_params(self) -> dict[str, Any]:
+        """Constructor kwargs that rebuild this policy (spec payload)."""
+        return {}
+
+    @property
+    def spec(self) -> PolicySpec:
+        """The frozen spec describing this policy's configuration."""
+        return PolicySpec.of(self.kind, **self.spec_params())
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Does the policy ever draw from the RNG?"""
+        return False
+
+    # ----------------------------------------------------------------- hooks
+
+    def reset(self) -> None:
+        """Clear all per-run state (engine calls this before round 0)."""
+
+    def on_round_begin(self, round_index: int) -> None:
+        """A new gossip round is starting."""
+
+    def on_duplicate_received(
+        self, tile_id: int, packet: "Packet", round_index: int
+    ) -> None:
+        """`tile_id` received (and suppressed) an intact duplicate copy."""
+
+    def on_dead_link(self, src: int, dst: int, round_index: int) -> None:
+        """A transmission from `src` vanished on the dead link to `dst`."""
+
+    # ------------------------------------------------------------- decisions
+
+    def decide(
+        self, packet: "Packet", link: tuple[int, int], ctx: PolicyContext
+    ) -> bool:
+        """Should `packet` be transmitted over `link` this round?
+
+        `link` is the directed pair ``(sending tile, neighbor)``.
+        """
+        raise NotImplementedError
+
+    def decisions(
+        self,
+        packet: "Packet",
+        neighbors: tuple[int, ...],
+        rng: np.random.Generator,
+        *,
+        tile_id: int,
+        round_index: int,
+        buffer_occupancy: int = 0,
+        buffer_capacity: int | None = None,
+    ) -> list[ForwardDecision]:
+        """Per-port decisions for one packet (the engine entry point).
+
+        The default builds one :class:`PolicyContext` and asks
+        :meth:`decide` per port; override for vectorised rules.  RND
+        draws must come from `rng` in port order so results stay
+        reproducible for a given seed.
+        """
+        ctx = PolicyContext(
+            tile_id=tile_id,
+            round_index=round_index,
+            rng=rng,
+            neighbors=neighbors,
+            buffer_occupancy=buffer_occupancy,
+            buffer_capacity=buffer_capacity,
+        )
+        return [
+            ForwardDecision(
+                port, neighbor, self.decide(packet, (tile_id, neighbor), ctx)
+            )
+            for port, neighbor in enumerate(neighbors)
+        ]
+
+    def expected_copies_per_round(self, degree: int) -> float:
+        """Mean link transmissions one buffered packet causes per round."""
+        return float(degree)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.spec.as_dict()!r})"
+
+
+class LegacyProtocolPolicy(ForwardingPolicy):
+    """Adapter mounting a pre-policy protocol object on the policy API.
+
+    Wraps anything with the historical
+    :meth:`repro.core.protocol.StochasticProtocol.decide` signature
+    (``decide(packet, neighbors, rng, tile_id=...)``) — including
+    :class:`repro.noc.routing.XYRoutingProtocol` — and delegates the batch
+    :meth:`decisions` call to it verbatim, so legacy configurations run
+    *bit-identically* to the pre-policy engine: same calls, same RNG
+    stream, same numbers.
+
+    The adapter is an engine-internal shim: it has no registry `kind` and
+    no spec; configs keep storing the wrapped protocol object itself.
+    """
+
+    def __init__(self, protocol: StochasticProtocol) -> None:
+        self.protocol = protocol
+
+    @property
+    def spec(self) -> PolicySpec:
+        raise TypeError(
+            "legacy protocol objects have no PolicySpec; store the protocol "
+            "itself in SimConfig (its describer already feeds the cache key)"
+        )
+
+    @property
+    def name(self) -> str:
+        return getattr(self.protocol, "name", type(self.protocol).__name__)
+
+    @property
+    def is_deterministic(self) -> bool:
+        return bool(getattr(self.protocol, "is_deterministic", False))
+
+    def decide(
+        self, packet: "Packet", link: tuple[int, int], ctx: PolicyContext
+    ) -> bool:
+        src, dst = link
+        return self.protocol.decide(packet, (dst,), ctx.rng, tile_id=src)[
+            0
+        ].transmit
+
+    def decisions(
+        self,
+        packet: "Packet",
+        neighbors: tuple[int, ...],
+        rng: np.random.Generator,
+        *,
+        tile_id: int,
+        round_index: int,
+        buffer_occupancy: int = 0,
+        buffer_capacity: int | None = None,
+    ) -> list[ForwardDecision]:
+        return self.protocol.decide(packet, neighbors, rng, tile_id=tile_id)
+
+    def expected_copies_per_round(self, degree: int) -> float:
+        return self.protocol.expected_copies_per_round(degree)
+
+
+# ------------------------------------------------------------------ registry
+
+#: kind -> policy class; populated by :func:`register_policy` decorators.
+POLICY_REGISTRY: dict[str, type[ForwardingPolicy]] = {}
+
+
+def register_policy(cls: type[ForwardingPolicy]) -> type[ForwardingPolicy]:
+    """Class decorator adding `cls` to :data:`POLICY_REGISTRY` by kind."""
+    if not cls.kind:
+        raise ValueError(f"{cls.__name__} must set a non-empty `kind`")
+    existing = POLICY_REGISTRY.get(cls.kind)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"policy kind {cls.kind!r} already registered by "
+            f"{existing.__name__}"
+        )
+    POLICY_REGISTRY[cls.kind] = cls
+    return cls
+
+
+def build_policy(spec: PolicySpec) -> ForwardingPolicy:
+    """Instantiate a fresh policy from a spec (loud on unknown kinds)."""
+    if not isinstance(spec, PolicySpec):
+        raise TypeError(f"build_policy expects a PolicySpec, got {spec!r}")
+    try:
+        cls = POLICY_REGISTRY[spec.kind]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_REGISTRY)) or "<none>"
+        raise ValueError(
+            f"unknown policy kind {spec.kind!r}; registered kinds: {known}"
+        ) from None
+    return cls(**spec.as_dict())
+
+
+def make_policy(kind: str, **params: Any) -> ForwardingPolicy:
+    """Convenience: ``build_policy(PolicySpec.of(kind, **params))``."""
+    return build_policy(PolicySpec.of(kind, **params))

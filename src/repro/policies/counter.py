@@ -1,0 +1,93 @@
+"""Counter-based ("death certificate") gossip.
+
+The classic randomized rumor-spreading optimisation (arXiv:1209.6158 and
+the median-counter rule of Karp et al.): a node keeps pushing a rumor only
+until it has *heard it back* often enough.  Each intact duplicate copy a
+tile receives is evidence its neighborhood already knows the message;
+after ``k`` such receptions the tile writes the rumor's death certificate
+and stops offering it to the RND circuits.  Saturated regions of the chip
+fall silent instead of re-flooding every round, cutting transmissions (and
+energy) while the spreading frontier keeps full redundancy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any
+
+from repro.policies.base import (
+    ForwardingPolicy,
+    PolicyContext,
+    register_policy,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.packet import Packet
+
+
+@register_policy
+class CounterGossipPolicy(ForwardingPolicy):
+    """Forward like Bernoulli(p) until k duplicate receptions, then stop.
+
+    Args:
+        k: duplicate receptions after which a tile stops forwarding a
+            message (k = 1: the first echo silences it; larger k trades
+            extra redundancy for fault tolerance).
+        forward_probability: the Bernoulli *p* applied while the message
+            is still alive at the tile (1.0 = flood-until-silenced, the
+            classic counter rule).
+    """
+
+    kind = "counter"
+
+    def __init__(self, k: int = 2, forward_probability: float = 1.0) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not 0.0 < forward_probability <= 1.0:
+            raise ValueError(
+                "forward_probability must be in (0, 1], got "
+                f"{forward_probability}"
+            )
+        self.k = int(k)
+        self.forward_probability = float(forward_probability)
+        #: (tile_id, packet key) -> intact duplicate copies received.
+        self._duplicates: dict[tuple[int, tuple[int, int]], int] = (
+            defaultdict(int)
+        )
+
+    def spec_params(self) -> dict[str, Any]:
+        return {"k": self.k, "forward_probability": self.forward_probability}
+
+    # ----------------------------------------------------------------- hooks
+
+    def reset(self) -> None:
+        self._duplicates.clear()
+
+    def on_duplicate_received(
+        self, tile_id: int, packet: "Packet", round_index: int
+    ) -> None:
+        self._duplicates[(tile_id, packet.key)] += 1
+
+    # ------------------------------------------------------------- decisions
+
+    def duplicates_seen(self, tile_id: int, key: tuple[int, int]) -> int:
+        """Intact duplicate copies of `key` received at `tile_id` so far."""
+        return self._duplicates.get((tile_id, key), 0)
+
+    def is_silenced(self, tile_id: int, key: tuple[int, int]) -> bool:
+        """Has `tile_id` written the death certificate for `key`?"""
+        return self.duplicates_seen(tile_id, key) >= self.k
+
+    def decide(
+        self, packet: "Packet", link: tuple[int, int], ctx: PolicyContext
+    ) -> bool:
+        if self.is_silenced(ctx.tile_id, packet.key):
+            return False
+        p = self.forward_probability
+        if p == 1.0:
+            return True
+        return bool(ctx.rng.random() < p)
+
+    def expected_copies_per_round(self, degree: int) -> float:
+        # Upper bound: a not-yet-silenced message behaves like Bernoulli.
+        return degree * self.forward_probability

@@ -10,7 +10,7 @@ digest of the task's function and parameters.  For the digest to be a
   containers, numpy scalars, frozen dataclasses (``FaultConfig``,
   ``LinkModel``, ``CrashPlan``, ``ArchitectureSpec``…), and the simulator
   object types (``Topology``, ``StochasticProtocol``, ``CRC``,
-  ``SimConfig``);
+  ``SimConfig``, ``PolicySpec``/``ForwardingPolicy``);
 * **loud on anything else** — an object we cannot canonicalise raises
   ``TypeError`` instead of silently producing an unstable key that would
   turn the cache into a source of wrong results.
@@ -32,6 +32,11 @@ from repro.noc.config import (
     describe_topology,
 )
 from repro.noc.topology import Topology
+from repro.policies.base import (
+    ForwardingPolicy,
+    LegacyProtocolPolicy,
+    PolicySpec,
+)
 
 
 def canonical(value: Any) -> Any:
@@ -58,6 +63,13 @@ def canonical(value: Any) -> Any:
         return (type(value).__name__, token())
     if isinstance(value, Topology):
         return describe_topology(value)
+    if isinstance(value, PolicySpec):
+        return ("PolicySpec", value.kind, canonical(value.params))
+    if isinstance(value, LegacyProtocolPolicy):
+        return canonical(value.protocol)
+    if isinstance(value, ForwardingPolicy):
+        # A stateful policy instance keys by its configuration alone.
+        return canonical(value.spec)
     if isinstance(value, StochasticProtocol):
         return describe_protocol(value)
     if isinstance(value, CRC):
@@ -74,7 +86,7 @@ def canonical(value: Any) -> Any:
         f"cannot build a stable cache key from {type(value).__name__!r}: "
         "sweep task parameters must be primitives, containers, numpy "
         "scalars/arrays, dataclasses, or simulator objects (Topology, "
-        "StochasticProtocol, CRC, SimConfig)"
+        "StochasticProtocol, CRC, SimConfig, PolicySpec, ForwardingPolicy)"
     )
 
 

@@ -132,3 +132,35 @@ class TestFigure:
     def test_fig3_1(self, capsys):
         assert main(["figure", "fig3_1"]) == 0
         assert "fig3_1" in capsys.readouterr().out
+
+
+class TestPolicies:
+    def test_list_names_all_registered_kinds(self, capsys):
+        assert main(["policies", "list"]) == 0
+        output = capsys.readouterr().out
+        for kind in ("bernoulli", "flood", "counter", "adaptive"):
+            assert kind in output
+
+    def test_compare_runs_the_four_policy_sweep(self, capsys):
+        code = main(
+            [
+                "policies",
+                "compare",
+                "--side",
+                "3",
+                "--repetitions",
+                "2",
+                "--max-rounds",
+                "24",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fault axis: upset" in output
+        assert "fault axis: link_crash" in output
+        for name in ("bernoulli", "flood", "counter", "adaptive"):
+            assert name in output
+
+    def test_policies_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["policies"])

@@ -8,7 +8,7 @@ from repro.core.protocol import FloodingProtocol, StochasticProtocol
 from repro.faults import CrashPlan, FaultConfig
 from repro.noc.engine import NocSimulator
 from repro.noc.tile import IPCore
-from repro.noc.topology import Mesh2D, RingTopology, StarTopology
+from repro.noc.topology import Mesh2D, StarTopology
 
 
 class OneShotProducer(IPCore):

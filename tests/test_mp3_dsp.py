@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.mp3.mdct import Mdct, roundtrip
 from repro.mp3.pcm import (
-    GRANULE,
     PcmSource,
     frames_from_signal,
     synthesize_signal,
