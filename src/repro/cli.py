@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the common workflows without writing a script:
+Seven commands cover the common workflows without writing a script:
 
 * ``info`` — version and package map;
 * ``spread`` — broadcast a rumor on a topology, print the saturation
@@ -11,12 +11,19 @@ Six commands cover the common workflows without writing a script:
   and report frames, bit-rate and SNR;
 * ``figure`` — regenerate one thesis figure's data series;
 * ``policies`` — list the registered forwarding policies, or run the
-  four-policy fault-sweep comparison (``repro policies compare``).
+  four-policy fault-sweep comparison (``repro policies compare``);
+* ``profile`` — time the engine's four per-round phases on a standard
+  broadcast workload (``repro.metrics.PhaseProfiler``).
+
+``spread`` and ``figure`` accept ``--metrics-out FILE`` to dump the
+per-round metrics time series (``repro.metrics``) as JSON — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -43,6 +50,7 @@ FIGURES = (
     "fig4_10",
     "fig4_11",
     "fig5_3",
+    "grid_spread",
 )
 
 
@@ -72,15 +80,23 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {repro.__version__} — On-Chip Stochastic Communication")
     print("(Dumitras & Marculescu, DATE 2003 / CMU MS thesis 2003)")
     print()
-    print("packages: core noc policies faults crc bus energy apps mp3 "
-          "diversity experiments")
-    print("commands: info spread probe mp3 figure policies")
+    print("packages: core noc policies metrics faults crc bus energy apps "
+          "mp3 diversity experiments runners")
+    print("commands: info spread probe mp3 figure policies profile")
     return 0
+
+
+def _write_metrics_json(path: str, document: dict) -> None:
+    """Write a metrics document as deterministic JSON (sorted keys)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, indent=2)
+        handle.write("\n")
 
 
 def cmd_spread(args: argparse.Namespace) -> int:
     from repro.experiments.grid_spread import measure_spread
 
+    collect_metrics = args.metrics_out is not None
     topology = _build_topology(args.topology, args.side)
     measurement = measure_spread(
         topology,
@@ -89,7 +105,21 @@ def cmd_spread(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_workers=args.workers,
         cache_dir=args.cache_dir,
+        collect_metrics=collect_metrics,
     )
+    if collect_metrics:
+        _write_metrics_json(
+            args.metrics_out,
+            {
+                "experiment": "grid_spread",
+                "topology": measurement.topology_name,
+                "forward_probability": args.p,
+                "seed": args.seed,
+                "aggregate": measurement.metrics.to_json_dict(),
+                "runs": [m.to_json_dict() for m in measurement.run_metrics],
+            },
+        )
+        print(f"per-round metrics written to {args.metrics_out}")
     print(
         f"{measurement.topology_name}: {measurement.n_tiles} tiles, "
         f"p = {args.p}"
@@ -241,10 +271,48 @@ def cmd_policies_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Figures whose harnesses support ``collect_metrics`` (and therefore
+#: the ``--metrics-out`` flag).
+METRICS_FIGURES = ("fig4_4", "grid_spread")
+
+
+def _figure_metrics_document(name: str, outcome: list) -> dict:
+    """Assemble the ``--metrics-out`` JSON document for one figure."""
+    if name == "grid_spread":
+        points = [
+            {
+                "topology": m.topology_name,
+                "n_tiles": m.n_tiles,
+                "aggregate": m.metrics.to_json_dict(),
+                "runs": [run.to_json_dict() for run in m.run_metrics],
+            }
+            for m in outcome
+        ]
+    else:  # fig4_4
+        points = [
+            {
+                "application": p.application,
+                "forward_probability": p.forward_probability,
+                "n_dead_tiles": p.n_dead_tiles,
+                "aggregate": p.metrics.to_json_dict(),
+            }
+            for p in outcome
+        ]
+    return {"experiment": name, "points": points}
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
     from repro.runners import SweepRunner
 
+    collect_metrics = args.metrics_out is not None
+    if collect_metrics and args.name not in METRICS_FIGURES:
+        print(
+            f"--metrics-out supports {', '.join(METRICS_FIGURES)}; "
+            f"{args.name} does not collect per-round metrics yet",
+            file=sys.stderr,
+        )
+        return 2
     module = getattr(experiments, args.name)
     # One shared runner per invocation: two-panel figures reuse the same
     # worker pool settings and cache directory.
@@ -256,12 +324,49 @@ def cmd_figure(args: argparse.Namespace) -> int:
         for point in module.run_synchronization(runner=runner):
             print(point)
     else:
-        outcome = module.run(runner=runner)
+        kwargs = {"collect_metrics": True} if collect_metrics else {}
+        outcome = module.run(runner=runner, **kwargs)
         if isinstance(outcome, list):
             for row in outcome:
                 print(row)
         else:
             print(outcome)
+        if collect_metrics:
+            _write_metrics_json(
+                args.metrics_out,
+                _figure_metrics_document(args.name, outcome),
+            )
+            print(f"per-round metrics written to {args.metrics_out}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.protocol import StochasticProtocol as Protocol
+    from repro.experiments.grid_spread import _BroadcastSeed
+    from repro.metrics import PhaseProfiler
+
+    topology = _build_topology(args.topology, args.side)
+    profiler = PhaseProfiler()
+    n = topology.n_tiles
+    for rep in range(args.repetitions):
+        simulator = NocSimulator(
+            topology,
+            Protocol(args.p),
+            _fault_config(args),
+            seed=args.seed + rep,
+            default_ttl=args.rounds,
+            profiler=profiler,
+        )
+        simulator.mount(0, _BroadcastSeed(ttl=args.rounds))
+        simulator.run(
+            args.rounds,
+            until=lambda sim: len(sim.informed_tiles()) == n,
+        )
+    print(
+        f"broadcast on {args.topology}({args.side}), p = {args.p}, "
+        f"{args.repetitions} repetition(s), {profiler.rounds} rounds total"
+    )
+    print(profiler.format_table())
     return 0
 
 
@@ -294,6 +399,17 @@ def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_out_argument(subparser: argparse.ArgumentParser) -> None:
+    """The per-round metrics export flag (see docs/observability.md)."""
+    subparser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="collect per-round metrics (repro.metrics) during the sweep "
+        "and write them to FILE as JSON (default: metrics off)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -315,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     spread.add_argument("--repetitions", type=int, default=5)
     spread.add_argument("--seed", type=int, default=0)
     _add_runner_arguments(spread)
+    _add_metrics_out_argument(spread)
     spread.set_defaults(handler=cmd_spread)
 
     probe = subparsers.add_parser(
@@ -360,7 +477,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument("name", choices=FIGURES)
     _add_runner_arguments(figure)
+    _add_metrics_out_argument(figure)
     figure.set_defaults(handler=cmd_figure)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="time the engine's per-round phases on a broadcast workload",
+    )
+    profile.add_argument(
+        "--topology", choices=("mesh", "torus", "complete"), default="mesh"
+    )
+    profile.add_argument("--side", type=_positive_int, default=8)
+    profile.add_argument("--p", type=float, default=0.5)
+    profile.add_argument("--rounds", type=_positive_int, default=64)
+    profile.add_argument("--repetitions", type=_positive_int, default=3)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--upset", type=float, default=0.0)
+    profile.add_argument("--overflow", type=float, default=0.0)
+    profile.add_argument("--sigma", type=float, default=0.0)
+    profile.set_defaults(handler=cmd_profile)
 
     policies = subparsers.add_parser(
         "policies", help="forwarding-policy tools (repro.policies)"

@@ -12,10 +12,22 @@ keywords (see ``experiments/__init__.py`` for the full convention):
   counters.
 
 :func:`resolve_runner` turns those three into the runner to use.
+
+Instrumented sweeps additionally accept ``collect_metrics`` (see
+``docs/observability.md``): task functions grow an optional
+``collect_metrics`` parameter and, when it is set, append a
+:class:`repro.metrics.RunMetrics` to their result tuple.  Because the
+flag is a task *parameter* it participates in the cache key, so
+instrumented and uninstrumented runs never alias in the on-disk cache.
+:func:`split_metrics` and :func:`summarize_metrics` are the shared
+plumbing for unpacking and reducing those results.
 """
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
+from repro.metrics import MetricsSummary, RunMetrics, aggregate_metrics
 from repro.runners import SweepRunner
 
 
@@ -28,3 +40,40 @@ def resolve_runner(
     if runner is not None:
         return runner
     return SweepRunner(n_workers=n_workers, cache_dir=cache_dir)
+
+
+def metrics_params(collect_metrics: bool) -> dict[str, bool]:
+    """The extra task params of an instrumented run.
+
+    Uninstrumented tasks omit the flag entirely, keeping their cache
+    keys identical to pre-observability sweeps; instrumented tasks carry
+    ``collect_metrics=True`` and therefore hash (and cache) separately.
+    """
+    return {"collect_metrics": True} if collect_metrics else {}
+
+
+def split_metrics(
+    outcomes: Sequence[tuple], collect_metrics: bool
+) -> tuple[list[tuple], list[RunMetrics] | None]:
+    """Split task outcomes into plain results and their `RunMetrics`.
+
+    Instrumented task functions return their historical tuple with a
+    :class:`repro.metrics.RunMetrics` appended; this strips the metrics
+    off so the downstream statistics code sees the unchanged shape.
+    Returns ``(plain_outcomes, metrics_or_None)``.
+    """
+    if not collect_metrics:
+        return list(outcomes), None
+    return (
+        [outcome[:-1] for outcome in outcomes],
+        [outcome[-1] for outcome in outcomes],
+    )
+
+
+def summarize_metrics(
+    runs: Sequence[Any] | None,
+) -> MetricsSummary | None:
+    """Aggregate a cell's `RunMetrics` (None/empty passes through)."""
+    if not runs:
+        return None
+    return aggregate_metrics(runs)

@@ -17,8 +17,14 @@ import numpy as np
 from repro.apps.fft2d import Fft2dApp
 from repro.apps.master_slave import MasterSlavePiApp
 from repro.core.protocol import StochasticProtocol
-from repro.experiments.common import resolve_runner
+from repro.experiments.common import (
+    metrics_params,
+    resolve_runner,
+    split_metrics,
+    summarize_metrics,
+)
 from repro.faults import FaultConfig, FaultInjector
+from repro.metrics import MetricsCollector, MetricsSummary
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
 from repro.runners import SimTask, SweepRunner
@@ -38,6 +44,9 @@ class CrashSweepPoint:
         completion_rate: fraction of repetitions that finished.
         latency_rounds: mean rounds over completed runs.
         energy_j: mean Eq. 3 energy over completed runs.
+        metrics: aggregated per-round mean/CI time series of the cell's
+            repetitions when swept with ``collect_metrics=True``, else
+            ``None``.
     """
 
     application: str
@@ -46,11 +55,13 @@ class CrashSweepPoint:
     completion_rate: float
     latency_rounds: float
     energy_j: float
+    metrics: MetricsSummary | None = None
 
 
 def _run_master_slave(
-    p: float, n_dead: int, seed: int, max_rounds: int
-) -> tuple[bool, int, float]:
+    p: float, n_dead: int, seed: int, max_rounds: int,
+    collect_metrics: bool = False,
+) -> tuple:
     app = MasterSlavePiApp.default_5x5(n_slaves=8, duplicate=True, n_terms=400)
     topology = Mesh2D(5, 5)
     injector = FaultInjector(FaultConfig.fault_free(), np.random.default_rng(seed))
@@ -60,8 +71,10 @@ def _run_master_slave(
         n_dead_tiles=n_dead,
         protected_tiles=app.critical_tiles,
     )
+    collector = MetricsCollector() if collect_metrics else None
     simulator = NocSimulator(
-        topology, StochasticProtocol(p), seed=seed, crash_plan=plan
+        topology, StochasticProtocol(p), seed=seed, crash_plan=plan,
+        observer=collector,
     )
     app.deploy(simulator)
     # Replica-aware completion: the run ends when the master holds every
@@ -69,12 +82,18 @@ def _run_master_slave(
     result = simulator.run(
         max_rounds=max_rounds, until=lambda sim: app.master.complete
     )
+    if collector is not None:
+        return (
+            app.master.complete, result.rounds, result.energy_j,
+            collector.metrics(),
+        )
     return app.master.complete, result.rounds, result.energy_j
 
 
 def _run_fft2d(
-    p: float, n_dead: int, seed: int, max_rounds: int
-) -> tuple[bool, int, float]:
+    p: float, n_dead: int, seed: int, max_rounds: int,
+    collect_metrics: bool = False,
+) -> tuple:
     image = np.random.default_rng(seed).normal(size=(8, 8))
     app = Fft2dApp(image, duplicate=True)
     topology = Mesh2D(4, 4)
@@ -85,13 +104,20 @@ def _run_fft2d(
         n_dead_tiles=n_dead,
         protected_tiles=app.critical_tiles,
     )
+    collector = MetricsCollector() if collect_metrics else None
     simulator = NocSimulator(
-        topology, StochasticProtocol(p), seed=seed, crash_plan=plan
+        topology, StochasticProtocol(p), seed=seed, crash_plan=plan,
+        observer=collector,
     )
     app.deploy(simulator)
     result = simulator.run(
         max_rounds=max_rounds, until=lambda sim: app.root.complete
     )
+    if collector is not None:
+        return (
+            app.root.complete, result.rounds, result.energy_j,
+            collector.metrics(),
+        )
     return app.root.complete, result.rounds, result.energy_j
 
 
@@ -111,8 +137,14 @@ def run(
     n_workers: int = 1,
     runner: SweepRunner | None = None,
     cache_dir: str | None = None,
+    collect_metrics: bool = False,
 ) -> list[CrashSweepPoint]:
-    """Sweep (p x crash count) for one application."""
+    """Sweep (p x crash count) for one application.
+
+    With ``collect_metrics=True`` every repetition records a per-round
+    :class:`repro.metrics.RunMetrics` and each sweep point carries the
+    cell's aggregated mean/CI summary in its ``metrics`` field.
+    """
     if application not in _RUNNERS:
         raise ValueError(
             f"unknown application {application!r}; expected one of "
@@ -123,23 +155,30 @@ def run(
     cells = [
         (p, n_dead) for p in probabilities for n_dead in dead_tile_counts
     ]
-    outcomes = iter(
-        sweep.run(
-            SimTask.call(
-                run_one,
-                p=p,
-                n_dead=n_dead,
-                seed=seed + 977 * rep,
-                max_rounds=max_rounds,
-                label=f"fig4_4[{application}] p={p} dead={n_dead} rep={rep}",
-            )
-            for p, n_dead in cells
-            for rep in range(repetitions)
+    raw = sweep.run(
+        SimTask.call(
+            run_one,
+            p=p,
+            n_dead=n_dead,
+            seed=seed + 977 * rep,
+            max_rounds=max_rounds,
+            label=f"fig4_4[{application}] p={p} dead={n_dead} rep={rep}",
+            **metrics_params(collect_metrics),
         )
+        for p, n_dead in cells
+        for rep in range(repetitions)
     )
+    plain, run_metrics = split_metrics(raw, collect_metrics)
+    outcomes = iter(plain)
+    metrics_iter = iter(run_metrics) if run_metrics is not None else None
     points = []
     for p, n_dead in cells:
         cell = [next(outcomes) for _ in range(repetitions)]
+        summary = None
+        if metrics_iter is not None:
+            summary = summarize_metrics(
+                [next(metrics_iter) for _ in range(repetitions)]
+            )
         finished = [o for o in cell if o[0]]
         pool = finished if finished else cell
         points.append(
@@ -150,6 +189,7 @@ def run(
                 completion_rate=len(finished) / len(cell),
                 latency_rounds=sum(o[1] for o in pool) / len(pool),
                 energy_j=sum(o[2] for o in pool) / len(pool),
+                metrics=summary,
             )
         )
     return points

@@ -16,7 +16,13 @@ import numpy as np
 
 from repro.core.packet import BROADCAST
 from repro.core.protocol import StochasticProtocol
-from repro.experiments.common import resolve_runner
+from repro.experiments.common import (
+    metrics_params,
+    resolve_runner,
+    split_metrics,
+    summarize_metrics,
+)
+from repro.metrics import MetricsCollector, MetricsSummary, RunMetrics
 from repro.noc.engine import NocSimulator
 from repro.noc.tile import IPCore, TileContext
 from repro.noc.topology import FullyConnected, Mesh2D, Topology, Torus2D
@@ -50,6 +56,11 @@ class SpreadMeasurement:
             (over the seeded repetitions; failed runs excluded).
         completion_rate: fraction of runs that saturated within budget.
         informed_curve: mean informed-tiles count per round.
+        run_metrics: one :class:`repro.metrics.RunMetrics` per
+            repetition when measured with ``collect_metrics=True``, else
+            ``None``.
+        metrics: the aggregated mean/CI summary of ``run_metrics``
+            (``None`` when uninstrumented).
     """
 
     topology_name: str
@@ -58,6 +69,8 @@ class SpreadMeasurement:
     saturation_rounds_std: float
     completion_rate: float
     informed_curve: list[float]
+    run_metrics: tuple[RunMetrics, ...] | None = None
+    metrics: MetricsSummary | None = None
 
 
 def _spread_once(
@@ -66,14 +79,21 @@ def _spread_once(
     origin: int,
     seed: int,
     max_rounds: int,
-) -> tuple[bool, int, list[float]]:
-    """One broadcast run; returns (completed, rounds, informed curve)."""
+    collect_metrics: bool = False,
+) -> tuple:
+    """One broadcast run; returns (completed, rounds, informed curve).
+
+    With ``collect_metrics=True`` a :class:`repro.metrics.RunMetrics`
+    per-round time series is appended to the tuple.
+    """
     n = topology.n_tiles
+    collector = MetricsCollector() if collect_metrics else None
     simulator = NocSimulator(
         topology,
         StochasticProtocol(forward_probability),
         seed=seed,
         default_ttl=max_rounds,
+        observer=collector,
     )
     simulator.mount(origin, _BroadcastSeed(ttl=max_rounds))
     result = simulator.run(
@@ -85,6 +105,8 @@ def _spread_once(
     for round_index in range(result.rounds + 1):
         informed += result.stats.per_round_informed.get(round_index, 0)
         curve.append(float(informed))
+    if collector is not None:
+        return result.completed, result.rounds, curve, collector.metrics()
     return result.completed, result.rounds, curve
 
 
@@ -99,8 +121,15 @@ def measure_spread(
     n_workers: int = 1,
     runner: SweepRunner | None = None,
     cache_dir: str | None = None,
+    collect_metrics: bool = False,
 ) -> SpreadMeasurement:
-    """Broadcast from `origin` and measure rounds to full saturation."""
+    """Broadcast from `origin` and measure rounds to full saturation.
+
+    With ``collect_metrics=True`` each repetition records a
+    :class:`repro.metrics.RunMetrics` time series; the measurement then
+    carries the per-repetition series (``run_metrics``) and their
+    mean/CI aggregate (``metrics``).
+    """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     sweep = resolve_runner(runner, n_workers, cache_dir)
@@ -114,9 +143,11 @@ def measure_spread(
             seed=seed + rep,
             max_rounds=max_rounds,
             label=f"grid_spread {label} rep={rep}",
+            **metrics_params(collect_metrics),
         )
         for rep in range(repetitions)
     )
+    outcomes, run_metrics = split_metrics(outcomes, collect_metrics)
     n = topology.n_tiles
     saturation_rounds = []
     curves = []
@@ -141,6 +172,8 @@ def measure_spread(
         saturation_rounds_std=float(np.std(pool)),
         completion_rate=completions / repetitions,
         informed_curve=mean_curve,
+        run_metrics=tuple(run_metrics) if run_metrics is not None else None,
+        metrics=summarize_metrics(run_metrics),
     )
 
 
@@ -152,6 +185,7 @@ def run(
     n_workers: int = 1,
     runner: SweepRunner | None = None,
     cache_dir: str | None = None,
+    collect_metrics: bool = False,
 ) -> list[SpreadMeasurement]:
     """Compare mesh / torus / complete-graph saturation at n = side^2."""
     n = side * side
@@ -164,6 +198,7 @@ def run(
             seed=seed,
             name=name,
             runner=sweep,
+            collect_metrics=collect_metrics,
         )
         for topology, name in (
             (FullyConnected(n), "fully connected"),

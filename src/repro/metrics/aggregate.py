@@ -1,0 +1,195 @@
+"""Aggregation of per-run metrics across sweep repetitions.
+
+:func:`aggregate_metrics` reduces the :class:`~repro.metrics.RunMetrics`
+of N seeded repetitions of one sweep cell into a
+:class:`MetricsSummary`: per-round mean and 95 % confidence half-width
+for the coverage, transmission, loss and energy series, plus whole-run
+scalar summaries.
+
+Alignment semantics: runs of a cell may stop at different rounds (a
+broadcast saturates earlier under one seed than another).  Series are
+aligned to the longest run; *cumulative* series (coverage, energy)
+extend a finished run by holding its final value, while *per-round
+increment* series (transmissions, drops) extend with zeros — a finished
+run sends nothing.  The reduction is pure arithmetic over ordered
+inputs, so summaries are bit-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.records import RunMetrics
+
+#: z-score of the two-sided 95 % normal confidence interval.
+_Z95 = 1.959963984540054
+
+
+def _mean_ci(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and 95 % CI half-width (0.0 for fewer than two values)."""
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return float(mean), 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return float(mean), float(_Z95 * math.sqrt(variance / n))
+
+
+def _aligned(
+    series: Sequence[Sequence[float]], horizon: int, hold_last: bool
+) -> list[list[float]]:
+    """Pad each series to `horizon`: hold the last value, or zero-fill."""
+    padded = []
+    for values in series:
+        values = list(values)
+        if len(values) < horizon:
+            fill = values[-1] if (hold_last and values) else 0.0
+            values = values + [fill] * (horizon - len(values))
+        padded.append(values)
+    return padded
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Per-round mean and 95 % CI half-width of one aggregated series."""
+
+    mean: tuple[float, ...]
+    ci95: tuple[float, ...]
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable dict (``mean`` / ``ci95`` lists)."""
+        return {"mean": list(self.mean), "ci95": list(self.ci95)}
+
+
+@dataclass(frozen=True)
+class ScalarSummary:
+    """Mean and 95 % CI half-width of one whole-run scalar."""
+
+    mean: float
+    ci95: float
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable dict (``mean`` / ``ci95`` floats)."""
+        return {"mean": self.mean, "ci95": self.ci95}
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Mean/CI reduction of one sweep cell's repetitions.
+
+    Attributes:
+        n_runs: repetitions aggregated.
+        n_tiles: tile count (identical across the cell's runs).
+        horizon: longest run length in rounds; every series has this
+            many entries.
+        coverage: informed-tile count per round (cumulative; finished
+            runs hold their final coverage).
+        transmissions: delivered link traversals per round (zero-padded
+            past a run's end).
+        drops: lost packets per round, all failure modes combined
+            (zero-padded).
+        energy_j: cumulative Eq. 3 energy per round (finished runs hold
+            their final energy).
+        rounds: whole-run round counts.
+        total_energy_j: whole-run final energies.
+        total_transmissions: whole-run delivered-transmission counts.
+    """
+
+    n_runs: int
+    n_tiles: int
+    horizon: int
+    coverage: SeriesSummary
+    transmissions: SeriesSummary
+    drops: SeriesSummary
+    energy_j: SeriesSummary
+    rounds: ScalarSummary
+    total_energy_j: ScalarSummary
+    total_transmissions: ScalarSummary
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable dict of the whole summary."""
+        return {
+            "schema": "repro.metrics/MetricsSummary/v1",
+            "n_runs": self.n_runs,
+            "n_tiles": self.n_tiles,
+            "horizon": self.horizon,
+            "series": {
+                "coverage": self.coverage.to_json_dict(),
+                "transmissions": self.transmissions.to_json_dict(),
+                "drops": self.drops.to_json_dict(),
+                "energy_j": self.energy_j.to_json_dict(),
+            },
+            "totals": {
+                "rounds": self.rounds.to_json_dict(),
+                "total_energy_j": self.total_energy_j.to_json_dict(),
+                "total_transmissions": self.total_transmissions.to_json_dict(),
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Deterministic JSON text: equal summaries give identical bytes."""
+        return json.dumps(self.to_json_dict(), sort_keys=True, indent=indent)
+
+
+def _series_summary(
+    series: Sequence[Sequence[float]], horizon: int, hold_last: bool
+) -> SeriesSummary:
+    """Reduce aligned per-run series into per-round mean/CI tuples."""
+    aligned = _aligned(series, horizon, hold_last)
+    means, cis = [], []
+    for t in range(horizon):
+        mean, ci = _mean_ci([run[t] for run in aligned])
+        means.append(mean)
+        cis.append(ci)
+    return SeriesSummary(mean=tuple(means), ci95=tuple(cis))
+
+
+def aggregate_metrics(runs: Sequence[RunMetrics]) -> MetricsSummary:
+    """Reduce the per-round metrics of N repetitions into mean/CI form.
+
+    All runs must share a tile count (they are repetitions of one sweep
+    cell); at least one run is required.
+    """
+    runs = list(runs)
+    if not runs:
+        raise ValueError("aggregate_metrics needs at least one RunMetrics")
+    n_tiles = runs[0].n_tiles
+    if any(run.n_tiles != n_tiles for run in runs):
+        raise ValueError(
+            "aggregate_metrics mixes runs with different tile counts; "
+            "aggregate one sweep cell at a time"
+        )
+    horizon = max(run.rounds for run in runs)
+    return MetricsSummary(
+        n_runs=len(runs),
+        n_tiles=n_tiles,
+        horizon=horizon,
+        coverage=_series_summary(
+            [run.coverage for run in runs], horizon, hold_last=True
+        ),
+        transmissions=_series_summary(
+            [run.transmissions_per_round for run in runs],
+            horizon,
+            hold_last=False,
+        ),
+        drops=_series_summary(
+            [[s.drops_total for s in run.samples] for run in runs],
+            horizon,
+            hold_last=False,
+        ),
+        energy_j=_series_summary(
+            [[s.energy_j for s in run.samples] for run in runs],
+            horizon,
+            hold_last=True,
+        ),
+        rounds=ScalarSummary(*_mean_ci([float(run.rounds) for run in runs])),
+        total_energy_j=ScalarSummary(
+            *_mean_ci([run.total_energy_j for run in runs])
+        ),
+        total_transmissions=ScalarSummary(
+            *_mean_ci([float(run.total_transmissions) for run in runs])
+        ),
+    )

@@ -1,0 +1,253 @@
+"""Typed, picklable containers for per-round simulation metrics.
+
+A :class:`RunMetrics` is the structured product of one instrumented
+simulation: an ordered tuple of :class:`RoundSample` rows, one per gossip
+round, each capturing the quantities the thesis evaluates (§3.3) —
+informed-tile coverage, transmissions, the loss breakdown by failure
+mode, cumulative Eq. 3 energy — plus a send-buffer occupancy histogram.
+
+Both types are frozen dataclasses built from primitives only, so they
+
+* **pickle** — they ride through :class:`repro.runners.SweepRunner`'s
+  process pool and on-disk result cache unchanged;
+* **export deterministically** — :meth:`RunMetrics.to_json` emits
+  byte-identical text for equal metrics (sorted keys, canonical float
+  repr), which is what lets tests assert that a sweep's metrics are
+  bit-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RoundSample:
+    """The metrics of one gossip round, sampled at the round boundary.
+
+    Counters (``transmissions``, drops, ``deliveries``,
+    ``upsets_injected``) are *per-round* increments; ``informed_tiles``
+    and ``energy_j`` are *cumulative* — the network state at the end of
+    the round.
+
+    Attributes:
+        round_index: the gossip round this row describes.
+        informed_tiles: tiles holding or having originated any message
+            by the end of the round (rumor-spreading coverage).
+        transmissions: link traversals delivered to a far-end latch this
+            round.
+        deliveries: first intact copies handed to tile IPs this round.
+        dead_link_drops: transmissions lost to crashed links this round.
+        overflow_drops: arrivals dropped by full input buffers this round.
+        crc_drops: corrupt arrivals caught by tile CRCs this round.
+        upsets_injected: in-flight copies scrambled by data upsets this
+            round.
+        energy_j: cumulative Eq. 3 communication energy through this
+            round.
+        buffer_occupancy: histogram of live-tile send-buffer sizes at
+            the end of the round, as sorted ``(occupancy, n_tiles)``
+            pairs.
+    """
+
+    round_index: int
+    informed_tiles: int
+    transmissions: int
+    deliveries: int
+    dead_link_drops: int
+    overflow_drops: int
+    crc_drops: int
+    upsets_injected: int
+    energy_j: float
+    buffer_occupancy: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def drops_total(self) -> int:
+        """All packets lost this round, over every failure mode."""
+        return self.dead_link_drops + self.overflow_drops + self.crc_drops
+
+    @property
+    def buffered_packets(self) -> int:
+        """Total packets sitting in send-buffers at the end of the round."""
+        return sum(size * count for size, count in self.buffer_occupancy)
+
+    @property
+    def max_buffer_occupancy(self) -> int:
+        """The fullest send-buffer at the end of the round (0 when empty)."""
+        if not self.buffer_occupancy:
+            return 0
+        return max(size for size, _ in self.buffer_occupancy)
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable dict of every field (histogram as pairs)."""
+        return {
+            "round_index": self.round_index,
+            "informed_tiles": self.informed_tiles,
+            "transmissions": self.transmissions,
+            "deliveries": self.deliveries,
+            "dead_link_drops": self.dead_link_drops,
+            "overflow_drops": self.overflow_drops,
+            "crc_drops": self.crc_drops,
+            "upsets_injected": self.upsets_injected,
+            "energy_j": self.energy_j,
+            "buffer_occupancy": [list(pair) for pair in self.buffer_occupancy],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "RoundSample":
+        """Rebuild a sample from :meth:`to_json_dict` output."""
+        return cls(
+            round_index=int(data["round_index"]),
+            informed_tiles=int(data["informed_tiles"]),
+            transmissions=int(data["transmissions"]),
+            deliveries=int(data["deliveries"]),
+            dead_link_drops=int(data["dead_link_drops"]),
+            overflow_drops=int(data["overflow_drops"]),
+            crc_drops=int(data["crc_drops"]),
+            upsets_injected=int(data["upsets_injected"]),
+            energy_j=float(data["energy_j"]),
+            buffer_occupancy=tuple(
+                (int(size), int(count))
+                for size, count in data.get("buffer_occupancy", [])
+            ),
+        )
+
+
+#: Column order of :meth:`RunMetrics.to_csv` (histogram reduced to
+#: buffered-packet total and max occupancy; the full histogram is
+#: JSON-only).
+CSV_COLUMNS = (
+    "round_index",
+    "informed_tiles",
+    "transmissions",
+    "deliveries",
+    "dead_link_drops",
+    "overflow_drops",
+    "crc_drops",
+    "upsets_injected",
+    "energy_j",
+    "buffered_packets",
+    "max_buffer_occupancy",
+)
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The complete per-round time series of one instrumented run.
+
+    Attributes:
+        n_tiles: tiles in the simulated topology.
+        samples: one :class:`RoundSample` per executed round, in order.
+    """
+
+    n_tiles: int
+    samples: tuple[RoundSample, ...] = field(default_factory=tuple)
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds the run executed (and therefore sampled)."""
+        return len(self.samples)
+
+    @property
+    def coverage(self) -> list[int]:
+        """Informed-tile count at the end of each round."""
+        return [sample.informed_tiles for sample in self.samples]
+
+    @property
+    def coverage_fraction(self) -> list[float]:
+        """Coverage normalised by the tile count, in [0, 1] per round."""
+        return [s.informed_tiles / self.n_tiles for s in self.samples]
+
+    @property
+    def transmissions_per_round(self) -> list[int]:
+        """Delivered link traversals per round."""
+        return [sample.transmissions for sample in self.samples]
+
+    @property
+    def total_transmissions(self) -> int:
+        """Delivered link traversals over the whole run."""
+        return sum(sample.transmissions for sample in self.samples)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Final cumulative Eq. 3 energy (0.0 for an empty run)."""
+        if not self.samples:
+            return 0.0
+        return self.samples[-1].energy_j
+
+    @property
+    def drops_by_kind(self) -> dict[str, int]:
+        """Whole-run loss totals keyed by failure mode."""
+        return {
+            "dead_link": sum(s.dead_link_drops for s in self.samples),
+            "overflow": sum(s.overflow_drops for s in self.samples),
+            "crc": sum(s.crc_drops for s in self.samples),
+        }
+
+    def saturation_round(self) -> int | None:
+        """First round at which every tile was informed, or ``None``."""
+        for sample in self.samples:
+            if sample.informed_tiles >= self.n_tiles:
+                return sample.round_index
+        return None
+
+    # ---------------------------------------------------------------- export
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable dict of the whole time series."""
+        return {
+            "schema": "repro.metrics/RunMetrics/v1",
+            "n_tiles": self.n_tiles,
+            "rounds": self.rounds,
+            "samples": [sample.to_json_dict() for sample in self.samples],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Deterministic JSON text: equal metrics give identical bytes."""
+        return json.dumps(self.to_json_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "RunMetrics":
+        """Rebuild metrics from :meth:`to_json_dict` output.
+
+        Raises:
+            ValueError: if the document carries a different ``schema``
+                marker than the one this class writes.
+        """
+        schema = data.get("schema", "repro.metrics/RunMetrics/v1")
+        if schema != "repro.metrics/RunMetrics/v1":
+            raise ValueError(
+                f"unsupported metrics schema {schema!r}; expected "
+                "'repro.metrics/RunMetrics/v1'"
+            )
+        return cls(
+            n_tiles=int(data["n_tiles"]),
+            samples=tuple(
+                RoundSample.from_json_dict(row) for row in data["samples"]
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunMetrics":
+        """Rebuild metrics from :meth:`to_json` output."""
+        return cls.from_json_dict(json.loads(text))
+
+    def to_csv(self) -> str:
+        """One CSV row per round (see :data:`CSV_COLUMNS` for the header)."""
+        lines = [",".join(CSV_COLUMNS)]
+        for sample in self.samples:
+            row = (
+                sample.round_index,
+                sample.informed_tiles,
+                sample.transmissions,
+                sample.deliveries,
+                sample.dead_link_drops,
+                sample.overflow_drops,
+                sample.crc_drops,
+                sample.upsets_injected,
+                repr(sample.energy_j),
+                sample.buffered_packets,
+                sample.max_buffer_occupancy,
+            )
+            lines.append(",".join(str(cell) for cell in row))
+        return "\n".join(lines) + "\n"

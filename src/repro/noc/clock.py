@@ -29,6 +29,7 @@ class ClockDomain:
     """
 
     def __init__(self, nominal_period_s: float, injector: FaultInjector) -> None:
+        """Start the domain at t = 0 with no boundaries drawn yet."""
         if nominal_period_s <= 0:
             raise ValueError(
                 f"nominal period must be > 0, got {nominal_period_s}"

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -42,13 +43,16 @@ from repro.noc.link import DEFAULT_LINK, LinkModel
 from repro.noc.stats import NetworkStats
 from repro.noc.tile import IPCore, Tile, TileContext
 from repro.noc.topology import Topology
-from repro.noc.trace import Observer
+from repro.noc.trace import Observer, as_observer
 from repro.policies.base import (
     ForwardingPolicy,
     LegacyProtocolPolicy,
     PolicySpec,
     build_policy,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.profiler import PhaseProfiler
 
 
 @dataclass(frozen=True)
@@ -126,12 +130,19 @@ class NocSimulator:
             `egress_limits` for the serialisation cap.
         observer: optional :class:`repro.noc.trace.Observer` whose hooks
             fire on every transmission, drop and delivery (tracing,
-            visualization, custom metrics).
+            visualization, custom metrics).  A tuple or list of observers
+            is accepted too and wrapped in a
+            :class:`repro.noc.trace.FanoutObserver`, so tracing and
+            metrics collection compose on one run.
+        profiler: optional :class:`repro.metrics.PhaseProfiler` timing
+            the four per-round engine phases (receive, compute, age,
+            send); ``None`` (the default) leaves the hot path untimed.
 
-    Everything except ``seed`` and ``observer`` is configuration: the
-    constructor packs it into a frozen :class:`repro.noc.config.SimConfig`
-    (exposed as :attr:`config`) and delegates to :meth:`from_config`.
-    Sweep harnesses build the config once and stamp out seeded replicas.
+    Everything except ``seed``, ``observer`` and ``profiler`` is
+    configuration: the constructor packs it into a frozen
+    :class:`repro.noc.config.SimConfig` (exposed as :attr:`config`) and
+    delegates to :meth:`from_config`.  Sweep harnesses build the config
+    once and stamp out seeded replicas.
     """
 
     def __init__(
@@ -154,7 +165,8 @@ class NocSimulator:
         link_energy_overrides: dict[tuple[int, int], float] | None = None,
         egress_limits: dict[int, int] | None = None,
         bus_tiles: frozenset[int] | set[int] = frozenset(),
-        observer: Observer | None = None,
+        observer: Observer | Sequence[Observer] | None = None,
+        profiler: "PhaseProfiler | None" = None,
     ) -> None:
         config = SimConfig(
             topology=topology,
@@ -174,7 +186,9 @@ class NocSimulator:
             egress_limits=egress_limits or {},
             bus_tiles=frozenset(bus_tiles),
         )
-        self._init_from_config(config, seed=seed, observer=observer)
+        self._init_from_config(
+            config, seed=seed, observer=observer, profiler=profiler
+        )
 
     @classmethod
     def from_config(
@@ -182,21 +196,24 @@ class NocSimulator:
         config: SimConfig,
         *,
         seed: int | None = None,
-        observer: Observer | None = None,
+        observer: Observer | Sequence[Observer] | None = None,
+        profiler: "PhaseProfiler | None" = None,
     ) -> "NocSimulator":
         """Build a simulator from a frozen :class:`SimConfig`.
 
-        ``seed`` and ``observer`` are runtime concerns, not configuration:
-        the same config replayed with the same seed reproduces a run
-        bit-for-bit, and different seeds give independent repetitions of
-        the same experiment.
+        ``seed``, ``observer`` and ``profiler`` are runtime concerns, not
+        configuration: the same config replayed with the same seed
+        reproduces a run bit-for-bit, and different seeds give
+        independent repetitions of the same experiment.
         """
         if not isinstance(config, SimConfig):
             raise TypeError(
                 f"from_config expects a SimConfig, got {type(config).__name__}"
             )
         simulator = cls.__new__(cls)
-        simulator._init_from_config(config, seed=seed, observer=observer)
+        simulator._init_from_config(
+            config, seed=seed, observer=observer, profiler=profiler
+        )
         return simulator
 
     @property
@@ -209,7 +226,8 @@ class NocSimulator:
         config: SimConfig,
         *,
         seed: int | None,
-        observer: Observer | None,
+        observer: Observer | Sequence[Observer] | None,
+        profiler: "PhaseProfiler | None" = None,
     ) -> None:
         self._config = config
         topology = config.topology
@@ -292,7 +310,10 @@ class NocSimulator:
         self.link_energy_overrides = dict(config.link_energy_overrides)
         self.egress_limits = dict(config.egress_limits)
         self.bus_tiles = config.bus_tiles
-        self.observer = observer
+        self.observer = as_observer(observer)
+        self.profiler = profiler
+        if self.observer is not None:
+            self.observer.on_bind(self)
 
     # ------------------------------------------------------------- app setup
 
@@ -362,6 +383,19 @@ class NocSimulator:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
         predicate = until if until is not None else NocSimulator.application_complete
 
+        profiler = self.profiler
+        if profiler is None:
+
+            def _phase(name, fn, *args):
+                fn(*args)
+
+        else:
+
+            def _phase(name, fn, *args):
+                start = perf_counter()
+                fn(*args)
+                profiler.record(name, perf_counter() - start)
+
         completed = False
         final_round = max_rounds
         for round_index in range(max_rounds):
@@ -369,14 +403,18 @@ class NocSimulator:
             self.policy.on_round_begin(round_index)
             if self.observer is not None:
                 self.observer.on_round_begin(round_index)
-            self._receive_phase(round_index)
-            self._compute_phase(round_index)
+            _phase("receive", self._receive_phase, round_index)
+            _phase("compute", self._compute_phase, round_index)
             if predicate(self):
                 completed = True
                 final_round = round_index
+                if self.observer is not None:
+                    self.observer.on_round_end(round_index)
                 break
-            self._age_phase()
-            self._send_phase(round_index)
+            _phase("age", self._age_phase)
+            _phase("send", self._send_phase, round_index)
+            if self.observer is not None:
+                self.observer.on_round_end(round_index)
 
         time_s = max(
             self.clocks[tid].round_end(final_round if completed else max_rounds - 1)

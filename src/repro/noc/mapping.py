@@ -41,6 +41,7 @@ class CommunicationGraph:
     demands: dict[tuple, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        """Validate IP uniqueness and that every demand names known IPs."""
         if len(set(self.ips)) != len(self.ips):
             raise ValueError("IP names must be unique")
         known = set(self.ips)
@@ -64,6 +65,7 @@ class CommunicationGraph:
 
     @property
     def total_demand(self) -> float:
+        """Summed traffic weight over every demand pair."""
         return sum(self.demands.values())
 
 
@@ -127,6 +129,7 @@ def greedy_mapping(graph: CommunicationGraph, mesh: Mesh2D) -> dict:
     while remaining:
         # Strongest unplaced IP relative to the placed set.
         def tie_strength(ip) -> float:
+            """Traffic between `ip` and the already-placed set."""
             return sum(
                 weight
                 for (src, dst), weight in graph.demands.items()
@@ -138,6 +141,7 @@ def greedy_mapping(graph: CommunicationGraph, mesh: Mesh2D) -> dict:
         remaining.remove(candidate)
 
         def incremental_cost(tile: int) -> float:
+            """Cost `candidate` adds when placed on `tile`."""
             return sum(
                 weight * mesh.manhattan_distance(tile, mapping[other])
                 for (src, dst), weight in graph.demands.items()

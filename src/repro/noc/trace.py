@@ -59,8 +59,20 @@ class TraceEvent:
 class Observer:
     """No-op base observer; subclass and override what you need."""
 
+    def on_bind(self, simulator: "NocSimulator") -> None:
+        """The engine adopted this observer (called once, at build time).
+
+        Observers that sample simulator state at round boundaries (e.g.
+        :class:`repro.metrics.MetricsCollector`) keep the reference;
+        purely event-driven observers can ignore it.
+        """
+
     def on_round_begin(self, round_index: int) -> None:
         """A new gossip round is starting."""
+
+    def on_round_end(self, round_index: int) -> None:
+        """A gossip round finished (after the send phase, or after the
+        compute phase of the completion round)."""
 
     def on_transmission(
         self, round_index: int, src: int, dst: int, packet: "Packet"
@@ -87,6 +99,87 @@ class Observer:
         self, round_index: int, tile: int, packet: "Packet"
     ) -> None:
         """A first intact copy was handed to a tile's IP."""
+
+
+class FanoutObserver(Observer):
+    """Broadcasts every engine hook to an ordered tuple of observers.
+
+    The engine accepts a single observer; this adapter lets several
+    coexist on one run (e.g. a :class:`TraceRecorder` *and* a
+    :class:`repro.metrics.MetricsCollector`).  Children are invoked in
+    tuple order for every hook, and each child sees exactly the event
+    stream it would see running alone — the engine emits events once and
+    the fan-out merely repeats them.
+
+    Passing a tuple or list straight to ``NocSimulator(observer=...)``
+    wraps it in a ``FanoutObserver`` automatically (see
+    :func:`as_observer`).
+    """
+
+    def __init__(self, *observers: Observer) -> None:
+        """Wrap `observers` (given variadically or as one iterable)."""
+        if len(observers) == 1 and not isinstance(observers[0], Observer):
+            observers = tuple(observers[0])  # a single iterable argument
+        for child in observers:
+            if not isinstance(child, Observer):
+                raise TypeError(
+                    f"FanoutObserver children must be Observers, got "
+                    f"{type(child).__name__}"
+                )
+        self.children: tuple[Observer, ...] = tuple(observers)
+
+    def on_bind(self, simulator: "NocSimulator") -> None:
+        for child in self.children:
+            child.on_bind(simulator)
+
+    def on_round_begin(self, round_index: int) -> None:
+        for child in self.children:
+            child.on_round_begin(round_index)
+
+    def on_round_end(self, round_index: int) -> None:
+        for child in self.children:
+            child.on_round_end(round_index)
+
+    def on_transmission(self, round_index, src, dst, packet) -> None:
+        for child in self.children:
+            child.on_transmission(round_index, src, dst, packet)
+
+    def on_dead_link_drop(self, round_index, src, dst) -> None:
+        for child in self.children:
+            child.on_dead_link_drop(round_index, src, dst)
+
+    def on_upset_injected(self, round_index, src, dst, packet) -> None:
+        for child in self.children:
+            child.on_upset_injected(round_index, src, dst, packet)
+
+    def on_overflow_drop(self, round_index, tile) -> None:
+        for child in self.children:
+            child.on_overflow_drop(round_index, tile)
+
+    def on_crc_drop(self, round_index, tile, packet) -> None:
+        for child in self.children:
+            child.on_crc_drop(round_index, tile, packet)
+
+    def on_delivery(self, round_index, tile, packet) -> None:
+        for child in self.children:
+            child.on_delivery(round_index, tile, packet)
+
+
+def as_observer(observer) -> Observer | None:
+    """Normalise the engine's ``observer`` argument.
+
+    ``None`` passes through, a single :class:`Observer` passes through,
+    and a tuple/list of observers is wrapped in a
+    :class:`FanoutObserver` preserving order.
+    """
+    if observer is None or isinstance(observer, Observer):
+        return observer
+    if isinstance(observer, (tuple, list)):
+        return FanoutObserver(*observer)
+    raise TypeError(
+        f"observer must be an Observer, a sequence of Observers, or None; "
+        f"got {type(observer).__name__}"
+    )
 
 
 class TraceRecorder(Observer):

@@ -1,0 +1,87 @@
+"""Link integrity for the markdown documentation set.
+
+Every relative link in ``docs/*.md``, ``README.md`` and
+``EXPERIMENTS.md`` must resolve to a file in the repository — dead
+cross-references are a docs bug, and this is the test the CI docs step
+runs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documents whose links we guarantee.
+DOC_FILES = sorted(
+    [
+        *(REPO_ROOT / "docs").glob("*.md"),
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "EXPERIMENTS.md",
+    ]
+)
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: Path) -> list[str]:
+    links = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if target:
+            links.append(target)
+    return links
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_relative_links_resolve(doc):
+    missing = [
+        target
+        for target in _relative_links(doc)
+        if not (doc.parent / target).exists()
+    ]
+    assert not missing, (
+        f"{doc.relative_to(REPO_ROOT)} has dead relative links: {missing}"
+    )
+
+
+def test_docs_pages_exist():
+    expected = {
+        "index.md",
+        "observability.md",
+        "simulator.md",
+        "runners.md",
+        "policies.md",
+        "protocol.md",
+    }
+    present = {p.name for p in (REPO_ROOT / "docs").glob("*.md")}
+    assert expected <= present
+
+
+def test_index_links_every_docs_page():
+    index = REPO_ROOT / "docs" / "index.md"
+    linked = set(_relative_links(index))
+    for page in (REPO_ROOT / "docs").glob("*.md"):
+        if page.name == "index.md":
+            continue
+        assert page.name in linked, (
+            f"docs/index.md does not link {page.name}"
+        )
+
+
+def test_observability_page_is_cross_linked():
+    # The observer/metrics docs must be reachable from the pages that
+    # describe the layers they hook into.
+    for name in ("simulator.md", "runners.md"):
+        text = (REPO_ROOT / "docs" / name).read_text()
+        assert "observability.md" in text, (
+            f"docs/{name} does not link docs/observability.md"
+        )

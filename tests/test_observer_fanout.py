@@ -1,0 +1,110 @@
+"""Tests for observer composition (FanoutObserver, as_observer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import StochasticProtocol
+from repro.experiments.grid_spread import _BroadcastSeed
+from repro.metrics import MetricsCollector
+from repro.noc.engine import NocSimulator
+from repro.noc.topology import Mesh2D
+from repro.noc.trace import FanoutObserver, Observer, TraceRecorder, as_observer
+
+
+def _run(observer, seed=23, rounds=24):
+    sim = NocSimulator(
+        Mesh2D(4, 4), StochasticProtocol(0.5), seed=seed,
+        default_ttl=rounds, observer=observer,
+    )
+    sim.mount(0, _BroadcastSeed(ttl=rounds))
+    sim.run(rounds, until=lambda s: False)
+    return sim
+
+
+class _HookLog(Observer):
+    """Records every hook invocation as (hook_name, round_index)."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_bind(self, simulator):
+        self.calls.append(("bind", None))
+
+    def on_round_begin(self, round_index):
+        self.calls.append(("begin", round_index))
+
+    def on_round_end(self, round_index):
+        self.calls.append(("end", round_index))
+
+    def on_transmission(self, round_index, src, dst, packet):
+        self.calls.append(("tx", round_index))
+
+
+class TestAsObserver:
+    def test_none_and_single_pass_through(self):
+        assert as_observer(None) is None
+        solo = TraceRecorder()
+        assert as_observer(solo) is solo
+
+    def test_sequences_become_fanout(self):
+        a, b = TraceRecorder(), MetricsCollector()
+        fan = as_observer((a, b))
+        assert isinstance(fan, FanoutObserver)
+        assert fan.children == (a, b)
+        assert as_observer([a, b]).children == (a, b)
+
+    def test_rejects_non_observers(self):
+        with pytest.raises(TypeError):
+            as_observer("not an observer")
+        with pytest.raises(TypeError):
+            FanoutObserver(TraceRecorder(), object())
+
+
+class TestFanout:
+    def test_children_receive_identical_hook_sequences(self):
+        first, second = _HookLog(), _HookLog()
+        _run((first, second))
+        assert first.calls == second.calls
+        assert ("tx", 1) in first.calls or ("tx", 2) in first.calls
+
+    def test_children_called_in_declaration_order(self):
+        order = []
+
+        class Tagged(Observer):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_round_begin(self, round_index):
+                order.append(self.tag)
+
+        _run((Tagged("a"), Tagged("b")), rounds=3)
+        assert order[:2] == ["a", "b"]
+        assert order == ["a", "b"] * 3
+
+    def test_fanout_trace_matches_standalone_trace(self):
+        # Composing observers must not perturb the simulation: a recorder
+        # running next to a collector sees the byte-identical event stream
+        # of a recorder running alone under the same seed.
+        alone = TraceRecorder()
+        _run(alone)
+        paired = TraceRecorder()
+        collector = MetricsCollector()
+        _run((paired, collector))
+        assert len(alone.events) > 0
+        assert alone.events == paired.events
+
+    def test_fanout_collector_matches_standalone_collector(self):
+        alone = MetricsCollector()
+        _run(alone)
+        paired = MetricsCollector()
+        _run((TraceRecorder(), paired))
+        assert alone.metrics().to_json() == paired.metrics().to_json()
+
+    def test_simulation_unchanged_by_observers(self):
+        bare = _run(None)
+        watched = _run((TraceRecorder(), MetricsCollector()))
+        assert bare.stats.energy_j == watched.stats.energy_j
+        assert sorted(bare.informed_tiles()) == sorted(
+            watched.informed_tiles()
+        )
