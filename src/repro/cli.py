@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the common workflows without writing a script:
+Eight commands cover the common workflows without writing a script:
 
 * ``info`` — version and package map;
 * ``spread`` — broadcast a rumor on a topology, print the saturation
@@ -13,7 +13,11 @@ Seven commands cover the common workflows without writing a script:
 * ``policies`` — list the registered forwarding policies, or run the
   four-policy fault-sweep comparison (``repro policies compare``);
 * ``profile`` — time the engine's four per-round phases on a standard
-  broadcast workload (``repro.metrics.PhaseProfiler``).
+  broadcast workload (``repro.metrics.PhaseProfiler``);
+* ``chaos`` — sweep the dynamic fault scenarios
+  (``repro.faults.scenarios``) over an intensity grid and print the
+  degradation report with the recomputed tolerance thresholds
+  (``repro.experiments.chaos``, see ``docs/faults.md``).
 
 ``spread`` and ``figure`` accept ``--metrics-out FILE`` to dump the
 per-round metrics time series (``repro.metrics``) as JSON — see
@@ -82,7 +86,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     print()
     print("packages: core noc policies metrics faults crc bus energy apps "
           "mp3 diversity experiments runners")
-    print("commands: info spread probe mp3 figure policies profile")
+    print("commands: info spread probe mp3 figure policies profile chaos")
     return 0
 
 
@@ -340,6 +344,54 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import chaos
+
+    report = chaos.run(
+        kinds=tuple(args.kinds),
+        levels=tuple(args.levels),
+        side=args.side,
+        forward_probability=args.p,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        coverage_target=args.coverage_target,
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+        collect_metrics=args.metrics_out is not None,
+    )
+    if args.metrics_out is not None:
+        _write_metrics_json(
+            args.metrics_out,
+            {
+                "experiment": "chaos",
+                "coverage_target": report.coverage_target,
+                "thresholds": report.thresholds,
+                "cells": [
+                    {
+                        "kind": cell.kind,
+                        "intensity": cell.intensity,
+                        "completion_rate": cell.completion_rate,
+                        "coverage_mean": cell.coverage_mean,
+                        "drops_by_scenario": cell.drops_by_scenario,
+                        "aggregate": cell.metrics.to_json_dict(),
+                        "runs": [
+                            run.to_json_dict() for run in cell.run_metrics
+                        ],
+                    }
+                    for cell in report.cells
+                ],
+            },
+        )
+        print(f"per-round metrics written to {args.metrics_out}")
+    print(
+        f"chaos campaign on a {args.side}x{args.side} mesh, p = {args.p}, "
+        f"{args.repetitions} repetition(s) per cell"
+    )
+    print(chaos.format_report(report))
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.protocol import StochasticProtocol as Protocol
     from repro.experiments.grid_spread import _BroadcastSeed
@@ -380,6 +432,27 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _writable_cache_dir(text: str) -> str:
+    """Validate --cache-dir up front: create it and check writability.
+
+    Failing here turns an hours-later mid-sweep crash ("cannot cache
+    completed cell") into an immediate, clear usage error.
+    """
+    import os
+
+    try:
+        os.makedirs(text, exist_ok=True)
+    except OSError as error:
+        raise argparse.ArgumentTypeError(
+            f"cannot create cache directory {text!r}: {error}"
+        ) from None
+    if not os.access(text, os.W_OK | os.X_OK):
+        raise argparse.ArgumentTypeError(
+            f"cache directory {text!r} is not writable"
+        )
+    return text
+
+
 def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
     """The shared sweep-execution flags (serial, uncached by default)."""
     subparser.add_argument(
@@ -392,10 +465,12 @@ def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
     )
     subparser.add_argument(
         "--cache-dir",
+        type=_writable_cache_dir,
         default=None,
         metavar="DIR",
         help="cache completed simulation tasks in DIR and reuse them "
-        "on rerun (default: no cache)",
+        "on rerun (default: no cache); the directory is created and "
+        "checked for writability up front",
     )
 
 
@@ -496,6 +571,40 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--overflow", type=float, default=0.0)
     profile.add_argument("--sigma", type=float, default=0.0)
     profile.set_defaults(handler=cmd_profile)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="dynamic-fault degradation report (repro.faults.scenarios)",
+    )
+    chaos.add_argument(
+        "--kinds",
+        nargs="+",
+        choices=("burst_upsets", "ramp_overflow", "link_flap"),
+        default=["burst_upsets", "ramp_overflow", "link_flap"],
+        help="scenario axes to sweep (default: all three)",
+    )
+    chaos.add_argument(
+        "--levels",
+        nargs="+",
+        type=float,
+        default=[0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0],
+        help="intensity grid per axis (default: 0 .. 1.0)",
+    )
+    chaos.add_argument("--side", type=_positive_int, default=4)
+    chaos.add_argument("--p", type=float, default=0.75)
+    chaos.add_argument("--repetitions", type=_positive_int, default=3)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--max-rounds", type=_positive_int, default=96)
+    chaos.add_argument(
+        "--coverage-target",
+        type=float,
+        default=0.99,
+        help="mean final coverage a cell must sustain to count as "
+        "tolerated (default: 0.99)",
+    )
+    _add_runner_arguments(chaos)
+    _add_metrics_out_argument(chaos)
+    chaos.set_defaults(handler=cmd_chaos)
 
     policies = subparsers.add_parser(
         "policies", help="forwarding-policy tools (repro.policies)"

@@ -30,6 +30,7 @@ exactly — the reproduced numbers do not change.
 """
 
 from repro.experiments import (
+    chaos,
     fig3_1,
     fig4_4,
     fig4_5,
@@ -48,6 +49,7 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "chaos",
     "fig3_1",
     "fig4_4",
     "fig4_5",

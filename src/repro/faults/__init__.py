@@ -14,6 +14,11 @@ The model is parameterised by five quantities:
 Two bit-level corruption models are provided (thesis §2): the *random error
 vector* model (all non-null n-bit error vectors equally likely) and the
 *random bit error* model (i.i.d. bit flips).
+
+On top of the static model, :mod:`repro.faults.scenarios` describes
+*time-varying* faults — upset bursts, flapping links, region outages —
+as frozen :class:`ScenarioSpec` objects the engine replays
+deterministically per seed (see ``docs/faults.md``).
 """
 
 from repro.faults.config import FaultConfig
@@ -25,6 +30,19 @@ from repro.faults.errors import (
     error_vector_probability,
 )
 from repro.faults.injector import CrashPlan, FaultInjector
+from repro.faults.scenarios import (
+    SCENARIO_KINDS,
+    BurstUpsets,
+    Composite,
+    LinkFlap,
+    RampOverflow,
+    RegionOutage,
+    ScenarioEffect,
+    ScenarioSpec,
+    ScenarioState,
+    describe_scenario,
+    scenario_from_kind,
+)
 
 __all__ = [
     "FaultConfig",
@@ -35,4 +53,15 @@ __all__ = [
     "error_vector_probability",
     "CrashPlan",
     "FaultInjector",
+    "SCENARIO_KINDS",
+    "BurstUpsets",
+    "Composite",
+    "LinkFlap",
+    "RampOverflow",
+    "RegionOutage",
+    "ScenarioEffect",
+    "ScenarioSpec",
+    "ScenarioState",
+    "describe_scenario",
+    "scenario_from_kind",
 ]

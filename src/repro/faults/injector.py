@@ -60,11 +60,33 @@ class FaultInjector:
         rng: np.random.Generator | int | None = None,
         payload_bits: int = 512,
     ) -> None:
-        self.config = config
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         if payload_bits < 1:
             raise ValueError(f"payload_bits must be positive, got {payload_bits}")
-        p_bit = bit_error_probability(config.p_upset, payload_bits) if config.p_upset else 0.0
+        self.payload_bits = payload_bits
+        self.retarget(config)
+
+    def retarget(self, config: FaultConfig) -> None:
+        """Swap in a new failure configuration mid-run.
+
+        The RNG stream is kept, so a dynamic-fault scenario that rewrites
+        the effective config every round (``repro.faults.scenarios``)
+        stays exactly reproducible from the run's seed.  The error model
+        is rebuilt only when the upset parameters actually changed.
+        """
+        previous = getattr(self, "config", None)
+        self.config = config
+        if (
+            previous is not None
+            and previous.p_upset == config.p_upset
+            and previous.error_model == config.error_model
+        ):
+            return
+        p_bit = (
+            bit_error_probability(config.p_upset, self.payload_bits)
+            if config.p_upset
+            else 0.0
+        )
         self.error_model: ErrorModel = make_error_model(config.error_model, p_bit)
 
     # ---------------------------------------------------------------- crashes

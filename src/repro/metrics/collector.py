@@ -97,6 +97,9 @@ class MetricsCollector(Observer):
                 upsets_injected=self._upsets_injected,
                 energy_j=float(simulator.stats.energy_j),
                 buffer_occupancy=tuple(sorted(occupancy.items())),
+                active_scenarios=tuple(
+                    getattr(simulator, "active_scenario_phases", ())
+                ),
             )
         )
 

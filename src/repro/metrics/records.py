@@ -48,6 +48,10 @@ class RoundSample:
         buffer_occupancy: histogram of live-tile send-buffer sizes at
             the end of the round, as sorted ``(occupancy, n_tiles)``
             pairs.
+        active_scenarios: labels of the dynamic-fault scenario phases
+            active during the round (``repro.faults.scenarios``); empty
+            for scenario-free runs and dormant rounds.  Lets the drop
+            breakdown attribute losses to the scenario causing them.
     """
 
     round_index: int
@@ -60,6 +64,7 @@ class RoundSample:
     upsets_injected: int
     energy_j: float
     buffer_occupancy: tuple[tuple[int, int], ...] = ()
+    active_scenarios: tuple[str, ...] = ()
 
     @property
     def drops_total(self) -> int:
@@ -91,6 +96,7 @@ class RoundSample:
             "upsets_injected": self.upsets_injected,
             "energy_j": self.energy_j,
             "buffer_occupancy": [list(pair) for pair in self.buffer_occupancy],
+            "active_scenarios": list(self.active_scenarios),
         }
 
     @classmethod
@@ -109,6 +115,9 @@ class RoundSample:
             buffer_occupancy=tuple(
                 (int(size), int(count))
                 for size, count in data.get("buffer_occupancy", [])
+            ),
+            active_scenarios=tuple(
+                str(label) for label in data.get("active_scenarios", [])
             ),
         )
 
@@ -183,6 +192,30 @@ class RunMetrics:
             "overflow": sum(s.overflow_drops for s in self.samples),
             "crc": sum(s.crc_drops for s in self.samples),
         }
+
+    def drops_by_scenario(self) -> dict[str, dict[str, int]]:
+        """Loss breakdown attributed to the active scenario phases.
+
+        Each round's drops are credited to the scenario phases active
+        that round (joined with ``+`` when several overlap); rounds with
+        no active scenario fall under ``"baseline"``.  This is what a
+        chaos campaign reads to say "these overflow drops came from the
+        ramp, those CRC drops from the upset burst".
+        """
+        out: dict[str, dict[str, int]] = {}
+        for sample in self.samples:
+            key = (
+                "+".join(sample.active_scenarios)
+                if sample.active_scenarios
+                else "baseline"
+            )
+            bucket = out.setdefault(
+                key, {"dead_link": 0, "overflow": 0, "crc": 0}
+            )
+            bucket["dead_link"] += sample.dead_link_drops
+            bucket["overflow"] += sample.overflow_drops
+            bucket["crc"] += sample.crc_drops
+        return out
 
     def saturation_round(self) -> int | None:
         """First round at which every tile was informed, or ``None``."""

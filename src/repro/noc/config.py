@@ -26,7 +26,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.protocol import StochasticProtocol
 from repro.crc import CRC, CRC16_CCITT
-from repro.faults import CrashPlan, FaultConfig
+from repro.faults import CrashPlan, FaultConfig, ScenarioSpec, describe_scenario
 from repro.noc.link import DEFAULT_LINK, LinkModel
 from repro.noc.topology import Topology
 from repro.policies.base import (
@@ -128,6 +128,7 @@ class SimConfig:
     )
     egress_limits: dict[int, int] = field(default_factory=dict)
     bus_tiles: frozenset[int] = frozenset()
+    scenario: ScenarioSpec | None = None
 
     def __post_init__(self) -> None:
         # Normalise the permissive constructor types to canonical ones so
@@ -181,6 +182,13 @@ class SimConfig:
             raise ValueError("link delays must be >= 1 round")
         if any(limit < 1 for limit in self.egress_limits.values()):
             raise ValueError("egress limits must be >= 1")
+        if self.scenario is not None and not isinstance(
+            self.scenario, ScenarioSpec
+        ):
+            raise TypeError(
+                f"scenario must be a repro.faults.ScenarioSpec or None, "
+                f"got {type(self.scenario).__name__}"
+            )
 
     # ----------------------------------------------------------- convenience
 
@@ -197,8 +205,13 @@ class SimConfig:
     # --------------------------------------------------------------- hashing
 
     def describe(self) -> tuple:
-        """A canonical, deterministic tuple form of every field."""
-        return (
+        """A canonical, deterministic tuple form of every field.
+
+        Scenario-free configs emit exactly the pre-scenario tuple, so
+        legacy cache tokens are pinned: existing on-disk caches remain
+        valid and a scenario run can never alias a scenario-free one.
+        """
+        base = (
             describe_topology(self.topology),
             describe_protocol(self.protocol),
             describe_fault_config(self.fault_config),
@@ -216,6 +229,9 @@ class SimConfig:
             tuple(sorted(self.egress_limits.items())),
             tuple(sorted(self.bus_tiles)),
         )
+        if self.scenario is None:
+            return base
+        return base + (("scenario", describe_scenario(self.scenario)),)
 
     def cache_token(self) -> str:
         """A stable content hash of the whole configuration.

@@ -37,6 +37,7 @@ from repro.core.packet import Packet, PacketFactory
 from repro.core.protocol import StochasticProtocol
 from repro.crc import CRC, CRC16_CCITT
 from repro.faults import CrashPlan, FaultConfig, FaultInjector
+from repro.faults.scenarios import ScenarioSpec, ScenarioState
 from repro.noc.clock import ClockDomain
 from repro.noc.config import SimConfig
 from repro.noc.link import DEFAULT_LINK, LinkModel
@@ -128,6 +129,12 @@ class NocSimulator:
             onto ALL output links at once — a bus transaction is physically
             seen by every module on the medium.  Combine with
             `egress_limits` for the serialisation cap.
+        scenario: optional :class:`repro.faults.ScenarioSpec` describing
+            *time-varying* faults (upset bursts, flapping links, region
+            outages — see ``docs/faults.md``).  Each round the scenario
+            rewrites the effective fault configuration and liveness sets
+            deterministically from a dedicated RNG stream spawned off
+            the run's seed, so scenario runs replay bit-for-bit.
         observer: optional :class:`repro.noc.trace.Observer` whose hooks
             fire on every transmission, drop and delivery (tracing,
             visualization, custom metrics).  A tuple or list of observers
@@ -165,6 +172,7 @@ class NocSimulator:
         link_energy_overrides: dict[tuple[int, int], float] | None = None,
         egress_limits: dict[int, int] | None = None,
         bus_tiles: frozenset[int] | set[int] = frozenset(),
+        scenario: ScenarioSpec | None = None,
         observer: Observer | Sequence[Observer] | None = None,
         profiler: "PhaseProfiler | None" = None,
     ) -> None:
@@ -185,6 +193,7 @@ class NocSimulator:
             link_energy_overrides=link_energy_overrides or {},
             egress_limits=egress_limits or {},
             bus_tiles=frozenset(bus_tiles),
+            scenario=scenario,
         )
         self._init_from_config(
             config, seed=seed, observer=observer, profiler=profiler
@@ -300,11 +309,31 @@ class NocSimulator:
         self.current_round = 0
         #: round -> tiles/links to crash at that round's start (the
         #: thesis' "crashes during the early stages" scenario, §4.1.3).
-        self._scheduled_tile_crashes: dict[int, list[int]] = defaultdict(list)
-        self._scheduled_link_crashes: dict[int, list[tuple[int, int]]] = (
-            defaultdict(list)
+        #: Sets, so double-scheduling the same failure is idempotent.
+        self._scheduled_tile_crashes: dict[int, set[int]] = defaultdict(set)
+        self._scheduled_link_crashes: dict[int, set[tuple[int, int]]] = (
+            defaultdict(set)
         )
         self._dynamic_dead_links: set[tuple[int, int]] = set()
+
+        # Dynamic fault scenario: a dedicated RNG stream spawned from the
+        # run's seed drives every scenario draw, so the protocol's own
+        # stream is untouched and scenario runs replay exactly per seed.
+        self._base_fault_config = self.fault_config
+        self._scenario_dead_links: frozenset[tuple[int, int]] = frozenset()
+        #: Labels of the scenario phases active in the current round —
+        #: sampled by :class:`repro.metrics.MetricsCollector` so drop
+        #: breakdowns attribute losses to the scenario causing them.
+        self.active_scenario_phases: tuple[str, ...] = ()
+        if config.scenario is not None:
+            scenario_rng = np.random.default_rng(
+                np.random.SeedSequence(seed).spawn(1)[0]
+            )
+            self._scenario_state: ScenarioState | None = (
+                config.scenario.instantiate(scenario_rng, topology)
+            )
+        else:
+            self._scenario_state = None
 
         self.link_delays = dict(config.link_delays)
         self.link_energy_overrides = dict(config.link_energy_overrides)
@@ -324,33 +353,70 @@ class NocSimulator:
         self._mounted.append(tile_id)
 
     def schedule_tile_crash(self, round_index: int, tile_id: int) -> None:
-        """Crash a tile at the start of a future round (field failure)."""
+        """Crash a tile at the start of a future round (field failure).
+
+        Scheduling the same tile twice — for the same round or different
+        ones — is idempotent: crashes are permanent, so only the first
+        takes effect and liveness bookkeeping is never double-counted.
+        """
         if round_index < 0:
             raise ValueError(f"round_index must be >= 0, got {round_index}")
         self.topology.validate_tile(tile_id)
-        self._scheduled_tile_crashes[round_index].append(tile_id)
+        self._scheduled_tile_crashes[round_index].add(tile_id)
 
     def schedule_link_crash(
         self, round_index: int, link: tuple[int, int]
     ) -> None:
-        """Crash a directed link at the start of a future round."""
+        """Crash a directed link at the start of a future round.
+
+        Like :meth:`schedule_tile_crash`, double-scheduling the same
+        link is idempotent.
+        """
         if round_index < 0:
             raise ValueError(f"round_index must be >= 0, got {round_index}")
         if link not in self.topology.links:
             raise ValueError(f"{link} is not a link of this topology")
-        self._scheduled_link_crashes[round_index].append(link)
+        self._scheduled_link_crashes[round_index].add(link)
 
     def _link_alive(self, src: int, dst: int) -> bool:
         return (
             self.crash_plan.link_alive(src, dst)
             and (src, dst) not in self._dynamic_dead_links
+            and (src, dst) not in self._scenario_dead_links
         )
 
     def _apply_scheduled_crashes(self, round_index: int) -> None:
-        for tile_id in self._scheduled_tile_crashes.pop(round_index, []):
-            self.tiles[tile_id].crash()
-        for link in self._scheduled_link_crashes.pop(round_index, []):
+        for tile_id in sorted(self._scheduled_tile_crashes.pop(round_index, ())):
+            tile = self.tiles[tile_id]
+            if tile.alive:
+                tile.crash()
+        for link in sorted(self._scheduled_link_crashes.pop(round_index, ())):
             self._dynamic_dead_links.add(link)
+
+    def _apply_scenario(self, round_index: int) -> None:
+        """Realise the dynamic-fault scenario for one round.
+
+        Rewrites the effective :class:`FaultConfig` (injector retarget,
+        RNG stream preserved), swaps the transient scenario-down link
+        set, crashes region-outage tiles, and publishes the active
+        phase labels for metrics attribution.
+        """
+        state = self._scenario_state
+        if state is None:
+            return
+        effect = state.begin_round(round_index)
+        config = self._base_fault_config
+        if effect.fault_overrides:
+            config = config.with_(**effect.fault_overrides)
+        if config != self.fault_config:
+            self.fault_config = config
+            self.injector.retarget(config)
+        self._scenario_dead_links = effect.down_links
+        for tile_id in sorted(effect.crash_tiles):
+            tile = self.tiles[tile_id]
+            if tile.alive:
+                tile.crash()
+        self.active_scenario_phases = effect.active
 
     @property
     def mounted_tiles(self) -> list[int]:
@@ -400,6 +466,7 @@ class NocSimulator:
         final_round = max_rounds
         for round_index in range(max_rounds):
             self.current_round = round_index
+            self._apply_scenario(round_index)
             self.policy.on_round_begin(round_index)
             if self.observer is not None:
                 self.observer.on_round_begin(round_index)
@@ -443,7 +510,11 @@ class NocSimulator:
             tile = self.tiles[tile_id]
             was_informed = tile.informed
             for packet, was_upset in latched:
-                if self.injector.overflow_occurs():
+                # With explicitly modelled buffers the probabilistic
+                # overflow draw is ignored in favour of actual occupancy
+                # (FaultConfig.p_overflow docs); the Bernoulli form
+                # supports the closed-form sweeps of Fig 4-10/4-11.
+                if tile.buffer_capacity is None and self.injector.overflow_occurs():
                     self.stats.overflow_drops += 1
                     if self.observer is not None:
                         self.observer.on_overflow_drop(round_index, tile_id)

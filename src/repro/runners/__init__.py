@@ -5,19 +5,25 @@ sweeps of independent simulations; this package runs them fast:
 
 * :class:`SimTask` — a picklable, content-hashable spec of one call;
 * :class:`SweepRunner` — fans tasks over a ``ProcessPoolExecutor``
-  (serial by default), memoizes results on disk, and derives per-task
+  (serial by default), memoizes results on disk, derives per-task
   seeds via ``numpy.random.SeedSequence.spawn`` so a sweep's numbers are
-  bit-identical at any worker count;
-* :class:`ResultCache` — the atomic, content-addressed pickle store.
+  bit-identical at any worker count, and survives flaky tasks: bounded
+  retries with exponential backoff + jitter, optional per-task
+  timeouts, corrupt-cache quarantine, and incremental checkpointing of
+  every completed cell (interrupted campaigns resume from the cache);
+* :class:`ResultCache` — the atomic, content-addressed pickle store;
+* :class:`RetryExhaustedError` — raised when a task fails on every
+  allowed attempt.
 
-See ``docs/runners.md`` for the seeding scheme, the cache-key contract
-and worker-count guidance.
+See ``docs/runners.md`` for the seeding scheme, the cache-key contract,
+worker-count guidance and the retry/timeout semantics.
 """
 
 from repro.runners.cache import ResultCache
 from repro.runners.hashing import canonical, digest
 from repro.runners.runner import (
     CACHE_SCHEMA_VERSION,
+    RetryExhaustedError,
     SimTask,
     SweepRunner,
     spawn_seeds,
@@ -26,6 +32,7 @@ from repro.runners.runner import (
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "ResultCache",
+    "RetryExhaustedError",
     "SimTask",
     "SweepRunner",
     "canonical",

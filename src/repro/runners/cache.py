@@ -5,18 +5,28 @@ content hash (see :meth:`repro.runners.runner.SimTask.cache_key`): any
 change to the task's function, parameters or seed changes the file name,
 so stale entries are never *returned* — they are simply orphaned and can
 be cleared wholesale.  Writes go through a temp file + ``os.replace`` so
-concurrent workers or an interrupted run never leave a torn entry behind;
-unreadable entries are treated as misses and overwritten.
+concurrent workers or an interrupted run never leave a torn entry behind.
+
+Corrupt or truncated entries (a crash mid-``write``, a filesystem hiccup,
+an unpicklable payload from an incompatible interpreter) are **quarantined
+and recomputed** rather than aborting the sweep: the damaged file is moved
+aside to ``<key>.pkl.quarantined`` for post-mortem inspection, a warning
+is logged, and the lookup reports a miss so the runner re-executes the
+cell and overwrites the entry with a fresh result.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from pathlib import Path
 from typing import Any, Iterator
 
+logger = logging.getLogger(__name__)
+
 _SUFFIX = ".pkl"
+_QUARANTINE_SUFFIX = ".pkl.quarantined"
 
 #: Sentinel distinguishing "cached None" from "not cached".
 _MISS = object()
@@ -27,14 +37,23 @@ class ResultCache:
 
     Args:
         root: cache directory; created (with parents) if missing.
+
+    Attributes:
+        quarantined: corrupt entries moved aside (and treated as misses)
+            over this instance's lifetime.
     """
 
     def __init__(self, root: str | os.PathLike[str]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.quarantined = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}{_SUFFIX}"
+
+    def quarantine_path_for(self, key: str) -> Path:
+        """Where a corrupt entry for `key` is moved for inspection."""
+        return self.root / f"{key}{_QUARANTINE_SUFFIX}"
 
     def get(self, key: str, default: Any = None) -> Any:
         """Return the cached result for `key`, or `default`."""
@@ -58,8 +77,31 @@ class ResultCache:
                 return pickle.load(handle)
         except FileNotFoundError:
             return _MISS
-        except Exception:  # torn/corrupt entry: a miss, not an error
+        except Exception as error:
+            # Truncated write, bit rot, or an unpicklable payload: the
+            # entry is damaged.  Quarantine it (keeping the bytes for
+            # post-mortem) and report a miss so the cell is recomputed.
+            self._quarantine(key, error)
             return _MISS
+
+    def _quarantine(self, key: str, error: Exception) -> None:
+        path = self.path_for(key)
+        destination = self.quarantine_path_for(key)
+        try:
+            os.replace(path, destination)
+            moved = f"moved to {destination.name}"
+        except OSError:
+            path.unlink(missing_ok=True)
+            moved = "deleted"
+        self.quarantined += 1
+        logger.warning(
+            "corrupt cache entry %s (%s: %s); %s and the cell will be "
+            "recomputed",
+            path,
+            type(error).__name__,
+            error,
+            moved,
+        )
 
     def put(self, key: str, value: Any) -> None:
         """Store `value` under `key` atomically."""
@@ -80,8 +122,11 @@ class ResultCache:
         return sum(1 for _ in self.keys())
 
     def clear(self) -> int:
-        """Delete every entry, returning the number removed."""
+        """Delete every entry (quarantined ones included), returning the
+        number of live entries removed."""
         removed = 0
+        for path in self.root.glob(f"*{_QUARANTINE_SUFFIX}"):
+            path.unlink(missing_ok=True)
         for path in self.root.glob(f"*{_SUFFIX}"):
             path.unlink(missing_ok=True)
             removed += 1

@@ -1,4 +1,4 @@
-"""The process-parallel sweep runner.
+"""The process-parallel, fault-tolerant sweep runner.
 
 Every thesis figure is a Monte-Carlo sweep — repetitions x fault levels x
 forward probabilities — whose individual simulations are independent.
@@ -17,7 +17,14 @@ forward probabilities — whose individual simulations are independent.
 * **memoized** — with a ``cache_dir``, completed tasks are stored on
   disk keyed by a content hash of the spec (function, parameters, seed);
   a warm-cache rerun of a sweep executes zero new simulations, which the
-  :attr:`SweepRunner.tasks_executed` counter makes checkable.
+  :attr:`SweepRunner.tasks_executed` counter makes checkable;
+* **fault-tolerant** — with ``max_attempts > 1`` a task that raises (or,
+  on the pool path, exceeds ``task_timeout_s``) is retried with
+  exponential backoff plus jitter; attempts are bounded and the final
+  failure surfaces as :class:`RetryExhaustedError` naming the task.
+  Results are **checkpointed incrementally**: each completed cell is
+  written to the cache the moment it finishes, so an interrupted
+  campaign resumes without rerunning finished work.
 
 Task functions must be module-level (importable by qualified name, so
 workers can unpickle them) and pure given their parameters and seed: no
@@ -27,8 +34,10 @@ reads of global mutable state, no dependence on execution order.
 from __future__ import annotations
 
 import importlib
+import random
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -40,6 +49,33 @@ from repro.runners.hashing import digest
 #: Bump when the task execution semantics change in a way that makes old
 #: cached results unreplayable (participates in every cache key).
 CACHE_SCHEMA_VERSION = 1
+
+
+class RetryExhaustedError(RuntimeError):
+    """A sweep task failed on every allowed attempt.
+
+    Attributes:
+        task: the failing :class:`SimTask`.
+        attempts: how many times it was tried.
+        last_error: the exception of the final attempt (also the
+            ``__cause__``), or ``None`` when the final attempt timed out.
+    """
+
+    def __init__(
+        self, task: "SimTask", attempts: int, last_error: BaseException | None
+    ) -> None:
+        reason = (
+            f"{type(last_error).__name__}: {last_error}"
+            if last_error is not None
+            else "timed out"
+        )
+        super().__init__(
+            f"sweep task {task.fn!r} (label={task.label!r}, "
+            f"seed={task.seed}) failed after {attempts} attempt(s): {reason}"
+        )
+        self.task = task
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 def _qualified_name(fn: Callable[..., Any]) -> str:
@@ -152,21 +188,39 @@ def spawn_seeds(base_seed: int | None, n: int) -> list[int]:
 
 
 class SweepRunner:
-    """Executes batches of :class:`SimTask` with caching and parallelism.
+    """Executes batches of :class:`SimTask` with caching, parallelism and
+    bounded retries.
 
     Args:
         n_workers: process-pool size; ``1`` (the default) runs serially
             in-process, so existing callers see unchanged behavior.
         cache_dir: directory for the on-disk result cache; ``None``
-            disables memoization.
+            disables memoization.  With a cache, every completed task is
+            written the moment it finishes (not at batch end), so the
+            cache doubles as a campaign checkpoint: an interrupted sweep
+            rerun with the same tasks resumes from the completed cells.
         base_seed: root of the ``SeedSequence`` used to fill in seeds for
             tasks that do not carry one.
+        max_attempts: times a failing task is tried before the sweep
+            aborts with :class:`RetryExhaustedError` (default 1 — fail
+            fast, the historical behavior).
+        retry_backoff_s: base delay before a retry; attempt *k* waits
+            ``retry_backoff_s * 2**(k-1)`` seconds, plus jitter.
+        retry_jitter: uniform multiplicative jitter on the backoff
+            (0.25 = up to +25 %), decorrelating retry storms when many
+            workers fail at once.
+        task_timeout_s: per-task wall-clock budget on the **pool** path;
+            a task still running past it counts as a failed attempt and
+            is resubmitted (the stuck worker is abandoned to finish or
+            die on its own).  ``None`` disables timeouts.  The serial
+            path cannot preempt a running task and ignores this knob.
 
     Attributes:
         tasks_submitted: total tasks handed to :meth:`run`.
         tasks_executed: tasks that actually ran a simulation (cache
             misses); a warm-cache rerun leaves this at 0.
         cache_hits: tasks satisfied from the on-disk cache.
+        tasks_retried: failed/timed-out attempts that were retried.
     """
 
     def __init__(
@@ -174,15 +228,37 @@ class SweepRunner:
         n_workers: int = 1,
         cache_dir: str | None = None,
         base_seed: int | None = None,
+        *,
+        max_attempts: int = 1,
+        retry_backoff_s: float = 0.5,
+        retry_jitter: float = 0.25,
+        task_timeout_s: float | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
+        if retry_jitter < 0:
+            raise ValueError(f"retry_jitter must be >= 0, got {retry_jitter}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be > 0 or None, got {task_timeout_s}"
+            )
         self.n_workers = n_workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.base_seed = base_seed
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_jitter = retry_jitter
+        self.task_timeout_s = task_timeout_s
         self.tasks_submitted = 0
         self.tasks_executed = 0
         self.cache_hits = 0
+        self.tasks_retried = 0
 
     # ------------------------------------------------------------------ api
 
@@ -191,7 +267,12 @@ class SweepRunner:
 
         Cached results are loaded without executing anything; the rest
         run serially or on the process pool.  Results are always ordered
-        like the input regardless of completion order.
+        like the input regardless of completion order, and each result
+        is cached the moment its task completes, so an aborted run
+        checkpoints every finished cell.
+
+        Raises:
+            RetryExhaustedError: a task failed ``max_attempts`` times.
         """
         ordered = self._assign_seeds(list(tasks))
         self.tasks_submitted += len(ordered)
@@ -208,13 +289,14 @@ class SweepRunner:
             pending.append((index, task, key))
 
         if pending:
-            for (index, _, key), value in zip(
-                pending, self._execute_batch([t for _, t, _ in pending])
-            ):
-                self.tasks_executed += 1
-                if key is not None:
-                    self.cache.put(key, value)
-                results[index] = value
+            # A single pending task skips the pool — unless a timeout is
+            # set, which only the pool path can enforce (the serial path
+            # cannot preempt a running task).
+            one = len(pending) == 1 and self.task_timeout_s is None
+            if self.n_workers == 1 or one:
+                self._execute_serial(pending, results)
+            else:
+                self._execute_pooled(pending, results)
         return results
 
     def map(
@@ -264,26 +346,142 @@ class SweepRunner:
             for i, task in enumerate(tasks)
         ]
 
-    def _execute_batch(self, tasks: list[SimTask]) -> list[Any]:
-        if self.n_workers == 1 or len(tasks) == 1:
-            return [_execute_task(task) for task in tasks]
+    def _record_success(
+        self, index: int, key: str | None, value: Any, results: list[Any]
+    ) -> None:
+        """Count, checkpoint and slot one completed task."""
+        self.tasks_executed += 1
+        if key is not None:
+            self.cache.put(key, value)
+        results[index] = value
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with uniform jitter for retry `attempt`."""
+        delay = self.retry_backoff_s * (2 ** (attempt - 1))
+        if self.retry_jitter:
+            delay *= 1.0 + self.retry_jitter * random.random()
+        return delay
+
+    def _execute_serial(
+        self,
+        pending: list[tuple[int, SimTask, str | None]],
+        results: list[Any],
+    ) -> None:
+        """In-process execution with bounded retry/backoff per task."""
+        for index, task, key in pending:
+            last_error: BaseException | None = None
+            for attempt in range(1, self.max_attempts + 1):
+                try:
+                    value = _execute_task(task)
+                except Exception as error:  # noqa: BLE001 - retried below
+                    last_error = error
+                    if attempt == self.max_attempts:
+                        raise RetryExhaustedError(
+                            task, attempt, error
+                        ) from error
+                    self.tasks_retried += 1
+                    time.sleep(self._backoff_delay(attempt))
+                else:
+                    self._record_success(index, key, value, results)
+                    break
+            else:  # pragma: no cover - loop always breaks or raises
+                raise RetryExhaustedError(task, self.max_attempts, last_error)
+
+    def _execute_pooled(
+        self,
+        pending: list[tuple[int, SimTask, str | None]],
+        results: list[Any],
+    ) -> None:
+        """Process-pool execution with retry, timeout and checkpointing.
+
+        Falls back to serial execution in environments without working
+        process pools (no /dev/shm, missing ``sem_open``, ...).
+        """
         try:
-            workers = min(self.n_workers, len(tasks))
+            if self.task_timeout_s is None:
+                workers = min(self.n_workers, len(pending))
+            else:
+                # Abandoned (timed-out) workers stay busy until their
+                # task finishes on its own; clamping to the batch size
+                # would let one hung task starve its own retries.
+                workers = self.n_workers
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_execute_task, tasks))
+                self._drive_pool(pool, pending, results)
         except (OSError, PermissionError, ImportError) as error:
-            # Environments without working process pools (no /dev/shm,
-            # missing sem_open, ...) degrade to serial execution.
             warnings.warn(
                 f"process pool unavailable ({error}); running sweep serially",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
-            return [_execute_task(task) for task in tasks]
+            self._execute_serial(pending, results)
+
+    def _drive_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        pending: list[tuple[int, SimTask, str | None]],
+        results: list[Any],
+    ) -> None:
+        timeout = self.task_timeout_s
+        #: future -> (index, task, key, attempt, deadline)
+        inflight: dict[Any, tuple[int, SimTask, str | None, int, float | None]] = {}
+
+        def submit(
+            index: int, task: SimTask, key: str | None, attempt: int
+        ) -> None:
+            future = pool.submit(_execute_task, task)
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            inflight[future] = (index, task, key, attempt, deadline)
+
+        for index, task, key in pending:
+            submit(index, task, key, attempt=1)
+
+        while inflight:
+            poll = 0.1 if timeout is not None else None
+            done, _ = wait(
+                inflight, timeout=poll, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            for future in done:
+                index, task, key, attempt, _ = inflight.pop(future)
+                error = future.exception()
+                if error is None:
+                    self._record_success(index, key, future.result(), results)
+                    continue
+                if isinstance(error, (OSError, PermissionError, ImportError)):
+                    # Pool infrastructure trouble, not a task failure:
+                    # surface it so _execute_pooled degrades to serial.
+                    raise error
+                if attempt >= self.max_attempts:
+                    raise RetryExhaustedError(task, attempt, error) from error
+                self.tasks_retried += 1
+                time.sleep(self._backoff_delay(attempt))
+                submit(index, task, key, attempt + 1)
+            if timeout is None:
+                continue
+            for future in list(inflight):
+                index, task, key, attempt, deadline = inflight[future]
+                if deadline is None or now < deadline or future in done:
+                    continue
+                if future.running() or not future.cancel():
+                    # Can't preempt a running worker: abandon the future
+                    # (its eventual result is discarded) and retry the
+                    # task on a fresh submission.
+                    inflight.pop(future)
+                    future.add_done_callback(lambda f: f.exception())
+                else:
+                    inflight.pop(future)
+                if attempt >= self.max_attempts:
+                    raise RetryExhaustedError(task, attempt, None)
+                self.tasks_retried += 1
+                time.sleep(self._backoff_delay(attempt))
+                submit(index, task, key, attempt + 1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = self.cache.root if self.cache is not None else None
         return (
             f"SweepRunner(n_workers={self.n_workers}, cache_dir={cache!r}, "
-            f"executed={self.tasks_executed}, hits={self.cache_hits})"
+            f"executed={self.tasks_executed}, hits={self.cache_hits}, "
+            f"retried={self.tasks_retried})"
         )

@@ -23,6 +23,34 @@ class TestParser:
             parser.parse_args(["figure", "fig9_9"])
 
 
+class TestRunnerArgumentValidation:
+    def test_zero_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spread", "--workers", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--workers", "-2"])
+
+    def test_uncreatable_cache_dir_rejected(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["spread", "--cache-dir", str(blocker / "sub")]
+            )
+        assert "cache directory" in capsys.readouterr().err
+
+    def test_valid_cache_dir_is_created_up_front(self, tmp_path):
+        target = tmp_path / "fresh" / "cache"
+        args = build_parser().parse_args(
+            ["spread", "--cache-dir", str(target)]
+        )
+        assert args.cache_dir == str(target)
+        assert target.is_dir()
+
+
 class TestInfo:
     def test_prints_version(self, capsys):
         assert main(["info"]) == 0
@@ -132,6 +160,42 @@ class TestFigure:
     def test_fig3_1(self, capsys):
         assert main(["figure", "fig3_1"]) == 0
         assert "fig3_1" in capsys.readouterr().out
+
+
+class TestChaos:
+    _FAST = [
+        "chaos",
+        "--kinds",
+        "burst_upsets",
+        "--levels",
+        "0",
+        "0.9",
+        "--repetitions",
+        "1",
+        "--max-rounds",
+        "32",
+    ]
+
+    def test_prints_the_degradation_report(self, capsys):
+        assert main(self._FAST) == 0
+        output = capsys.readouterr().out
+        assert "chaos degradation report" in output
+        assert "burst_upsets" in output
+        assert "tolerance thresholds" in output
+
+    def test_metrics_out_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "chaos.json"
+        assert main(self._FAST + ["--metrics-out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["experiment"] == "chaos"
+        assert "thresholds" in document
+        assert document["cells"][0]["runs"]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--kinds", "solar_storm"])
 
 
 class TestPolicies:

@@ -38,7 +38,46 @@ class TestScheduling:
         with pytest.raises(ValueError):
             sim.schedule_tile_crash(0, 9)
         with pytest.raises(ValueError):
+            sim.schedule_link_crash(-1, (0, 1))
+        with pytest.raises(ValueError):
             sim.schedule_link_crash(0, (0, 3))  # not a mesh link
+
+    def test_double_scheduled_tile_crash_is_idempotent(self):
+        # Regression: scheduling the same tile twice used to crash() it
+        # twice, corrupting liveness bookkeeping.  Now only the first
+        # takes effect, whether duplicated in one round or across two.
+        sim = NocSimulator(Mesh2D(3, 3), FloodingProtocol(), seed=0)
+        sim.schedule_tile_crash(2, 4)
+        sim.schedule_tile_crash(2, 4)
+        sim.schedule_tile_crash(3, 4)
+        sim.mount(0, OneShotProducer(BROADCAST, ttl=10))
+        result = sim.run(6, until=lambda s: False)
+        assert not sim.tiles[4].alive
+        assert result.stats is sim.stats  # run completed without error
+
+    def test_double_scheduled_link_crash_is_idempotent(self):
+        sim = NocSimulator(Mesh2D(2, 2), FloodingProtocol(), seed=0)
+        sim.schedule_link_crash(1, (0, 1))
+        sim.schedule_link_crash(1, (0, 1))
+        sim.schedule_link_crash(2, (0, 1))
+        sim.mount(0, OneShotProducer(BROADCAST, ttl=10))
+        sim.run(5, until=lambda s: False)
+        assert not sim._link_alive(0, 1)
+        assert sim._link_alive(1, 0)  # the reverse direction survives
+
+    def test_reference_run_unchanged_by_duplicate_scheduling(self):
+        def run_once(duplicate):
+            sim = NocSimulator(
+                Mesh2D(3, 3), StochasticProtocol(0.6), seed=5, default_ttl=12
+            )
+            sim.schedule_tile_crash(2, 4)
+            if duplicate:
+                sim.schedule_tile_crash(2, 4)
+            sim.mount(0, OneShotProducer(8, ttl=12))
+            result = sim.run(12, until=lambda s: False)
+            return result.stats.transmissions_delivered
+
+        assert run_once(False) == run_once(True)
 
 
 class TestProtocolResilience:

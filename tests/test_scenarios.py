@@ -1,0 +1,311 @@
+"""Tests for the dynamic fault scenarios (repro.faults.scenarios)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import FloodingProtocol, StochasticProtocol
+from repro.faults import (
+    BurstUpsets,
+    Composite,
+    FaultConfig,
+    LinkFlap,
+    RampOverflow,
+    RegionOutage,
+    SCENARIO_KINDS,
+    describe_scenario,
+    scenario_from_kind,
+)
+from repro.metrics import MetricsCollector
+from repro.noc import FullyConnected, Mesh2D, NocSimulator, SimConfig
+from tests.test_engine import OneShotProducer
+
+
+def _broadcast_metrics(scenario, seed=11, p=0.6, rounds=30, **kwargs):
+    collector = MetricsCollector()
+    sim = NocSimulator(
+        Mesh2D(4, 4),
+        StochasticProtocol(p),
+        seed=seed,
+        default_ttl=64,
+        observer=collector,
+        scenario=scenario,
+        **kwargs,
+    )
+    from repro.experiments.grid_spread import _BroadcastSeed
+
+    sim.mount(0, _BroadcastSeed(ttl=64))
+    result = sim.run(rounds, until=lambda s: len(s.informed_tiles()) == 16)
+    return sim, result, collector.metrics()
+
+
+class TestSpecs:
+    def test_burst_window(self):
+        state = BurstUpsets(p_upset=0.5, start=3, duration=2).instantiate(
+            np.random.default_rng(0), Mesh2D(2, 2)
+        )
+        assert state.begin_round(2).fault_overrides == {}
+        assert state.begin_round(3).fault_overrides == {"p_upset": 0.5}
+        assert state.begin_round(3).active == ("burst_upsets",)
+        assert state.begin_round(4).fault_overrides == {"p_upset": 0.5}
+        assert state.begin_round(5).fault_overrides == {}
+        assert state.begin_round(5).active == ()
+
+    def test_burst_open_ended(self):
+        state = BurstUpsets(p_upset=0.2).instantiate(
+            np.random.default_rng(0), Mesh2D(2, 2)
+        )
+        assert state.begin_round(999).fault_overrides == {"p_upset": 0.2}
+
+    def test_ramp_rises_linearly_then_holds(self):
+        state = RampOverflow(
+            p_overflow_peak=0.8, start=0, ramp_rounds=4
+        ).instantiate(np.random.default_rng(0), Mesh2D(2, 2))
+        levels = [
+            state.begin_round(r).fault_overrides["p_overflow"]
+            for r in range(6)
+        ]
+        assert levels == pytest.approx([0.2, 0.4, 0.6, 0.8, 0.8, 0.8])
+
+    def test_link_flap_links_go_down_and_repair(self):
+        spec = LinkFlap(mtbf_rounds=1.0, mttr_rounds=1.0)
+        state = spec.instantiate(np.random.default_rng(0), Mesh2D(2, 2))
+        # p_fail = p_repair = 1: every link flips state every round.
+        all_links = frozenset(Mesh2D(2, 2).links)
+        assert state.begin_round(0).down_links == all_links
+        assert state.begin_round(1).down_links == frozenset()
+        assert state.begin_round(2).down_links == all_links
+
+    def test_link_flap_fraction_limits_affected_links(self):
+        spec = LinkFlap(mtbf_rounds=1.0, mttr_rounds=10_000.0, fraction=0.5)
+        state = spec.instantiate(np.random.default_rng(0), Mesh2D(2, 2))
+        down = state.begin_round(0).down_links
+        assert len(down) == len(Mesh2D(2, 2).links) // 2
+
+    def test_region_outage_rectangle(self):
+        topo = Mesh2D(4, 4)
+        spec = RegionOutage(round_index=5, row=1, col=1, rows=2, cols=2)
+        assert spec.resolve_tiles(topo) == frozenset(
+            {topo.tile_at(r, c) for r in (1, 2) for c in (1, 2)}
+        )
+        state = spec.instantiate(np.random.default_rng(0), topo)
+        assert state.begin_round(4).crash_tiles == frozenset()
+        assert state.begin_round(5).crash_tiles == spec.resolve_tiles(topo)
+
+    def test_region_outage_explicit_tiles(self):
+        topo = FullyConnected(6)
+        spec = RegionOutage(round_index=0, tiles=(1, 2))
+        assert spec.resolve_tiles(topo) == frozenset({1, 2})
+
+    def test_region_outage_rectangle_needs_a_grid(self):
+        spec = RegionOutage(round_index=0, rows=2, cols=2)
+        with pytest.raises(TypeError, match="tile_at"):
+            spec.resolve_tiles(FullyConnected(6))
+
+    def test_composite_merges_and_later_overrides_win(self):
+        spec = Composite.of(
+            BurstUpsets(p_upset=0.1),
+            BurstUpsets(p_upset=0.9),
+            RegionOutage(round_index=0, tiles=(3,)),
+        )
+        state = spec.instantiate(np.random.default_rng(0), Mesh2D(2, 2))
+        effect = state.begin_round(0)
+        assert effect.fault_overrides == {"p_upset": 0.9}
+        assert effect.crash_tiles == frozenset({3})
+        assert effect.active == (
+            "burst_upsets",
+            "burst_upsets",
+            "region_outage",
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstUpsets(p_upset=1.5)
+        with pytest.raises(ValueError):
+            BurstUpsets(p_upset=0.5, start=-1)
+        with pytest.raises(ValueError):
+            BurstUpsets(p_upset=0.5, duration=0)
+        with pytest.raises(ValueError):
+            RampOverflow(p_overflow_peak=0.5, ramp_rounds=0)
+        with pytest.raises(ValueError):
+            LinkFlap(mtbf_rounds=0.5)
+        with pytest.raises(ValueError):
+            RegionOutage(round_index=-1)
+        with pytest.raises(ValueError):
+            Composite(scenarios=())
+        with pytest.raises(TypeError):
+            Composite.of("not a scenario")
+
+    def test_registry_round_trip(self):
+        spec = scenario_from_kind("burst_upsets", p_upset=0.3, start=2)
+        assert spec == BurstUpsets(p_upset=0.3, start=2)
+        assert spec.label == "burst_upsets"
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            scenario_from_kind("meteor_strike")
+        for kind, cls in SCENARIO_KINDS.items():
+            assert kind in repr(kind) or cls is not None  # registry sane
+
+    def test_specs_pickle(self):
+        spec = Composite.of(
+            BurstUpsets(p_upset=0.4, start=5, duration=10),
+            LinkFlap(fraction=0.5),
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestCacheToken:
+    def _config(self, scenario=None):
+        return SimConfig(
+            topology=Mesh2D(3, 3),
+            protocol=StochasticProtocol(0.5),
+            scenario=scenario,
+        )
+
+    def test_legacy_token_unchanged_without_scenario(self):
+        # The pre-scenario describe() tuple is pinned: adding the field
+        # must not invalidate existing on-disk caches.
+        description = self._config().describe()
+        assert len(description) == 16  # the historical positional tuple
+        assert "scenario" not in repr(description)
+
+    def test_scenario_extends_the_token(self):
+        spec = BurstUpsets(p_upset=0.3)
+        description = self._config(spec).describe()
+        assert len(description) == 17
+        assert description[-1] == ("scenario", describe_scenario(spec))
+
+    def test_distinct_scenarios_never_alias(self):
+        tokens = {
+            self._config(spec).cache_token()
+            for spec in (
+                None,
+                BurstUpsets(p_upset=0.3),
+                BurstUpsets(p_upset=0.4),
+                BurstUpsets(p_upset=0.3, start=1),
+                RampOverflow(p_overflow_peak=0.3),
+                LinkFlap(),
+                Composite.of(BurstUpsets(p_upset=0.3)),
+            )
+        }
+        assert len(tokens) == 7
+
+    def test_equal_scenarios_share_a_token(self):
+        a = self._config(BurstUpsets(p_upset=0.3)).cache_token()
+        b = self._config(BurstUpsets(p_upset=0.3)).cache_token()
+        assert a == b
+
+    def test_scenario_field_is_validated(self):
+        with pytest.raises(TypeError, match="scenario"):
+            self._config(scenario="burst")
+
+
+class TestEngineIntegration:
+    def test_runs_are_deterministic_per_seed(self):
+        spec = Composite.of(
+            BurstUpsets(p_upset=0.4, start=2, duration=8),
+            LinkFlap(mtbf_rounds=8.0, mttr_rounds=3.0, fraction=0.5),
+        )
+        _, _, first = _broadcast_metrics(spec, fault_config=FaultConfig())
+        _, _, second = _broadcast_metrics(spec, fault_config=FaultConfig())
+        assert first.to_json() == second.to_json()
+
+    def test_dormant_scenario_matches_scenario_free_run(self):
+        # A scenario that never activates must not perturb the main RNG
+        # stream: the run is bit-identical to one with no scenario.
+        dormant = BurstUpsets(p_upset=0.9, start=10_000)
+        _, _, with_dormant = _broadcast_metrics(dormant)
+        _, _, without = _broadcast_metrics(None)
+        assert with_dormant.to_json() == without.to_json()
+
+    def test_burst_raises_upsets_only_inside_the_window(self):
+        spec = BurstUpsets(p_upset=0.9, start=3, duration=4)
+        _, _, metrics = _broadcast_metrics(spec, rounds=12)
+        for sample in metrics.samples:
+            inside = 3 <= sample.round_index < 7
+            assert (sample.active_scenarios == ("burst_upsets",)) == inside
+            if not inside:
+                assert sample.upsets_injected == 0
+
+    def test_region_outage_crashes_the_rectangle(self):
+        spec = RegionOutage(round_index=2, row=0, col=0, rows=2, cols=2)
+        sim, _, _ = _broadcast_metrics(spec, rounds=8)
+        dead = {0, 1, 4, 5}
+        for tid, tile in sim.tiles.items():
+            assert tile.alive == (tid not in dead)
+
+    def test_link_flap_drops_are_attributed(self):
+        spec = LinkFlap(mtbf_rounds=2.0, mttr_rounds=4.0)
+        _, _, metrics = _broadcast_metrics(spec, p=1.0, rounds=20)
+        drops = metrics.drops_by_scenario()
+        assert drops["link_flap"]["dead_link"] > 0
+        assert "baseline" not in drops  # flap is active every round
+
+    def test_flapped_links_carry_traffic_after_repair(self):
+        # MTTR 1 => every down link repairs next round; the broadcast
+        # still saturates despite constant flapping.
+        spec = LinkFlap(mtbf_rounds=2.0, mttr_rounds=1.0)
+        _, result, _ = _broadcast_metrics(spec, p=0.9, rounds=40)
+        assert result.completed
+
+    def test_scenario_metrics_survive_json_round_trip(self):
+        from repro.metrics import RunMetrics
+
+        spec = BurstUpsets(p_upset=0.5, start=1, duration=3)
+        _, _, metrics = _broadcast_metrics(spec, rounds=8)
+        assert RunMetrics.from_json(metrics.to_json()) == metrics
+
+
+class TestOverflowWithExplicitBuffers:
+    """p_overflow is documented as ignored when buffers are modelled."""
+
+    def test_stochastic_overflow_ignored_with_explicit_capacity(self):
+        # p_overflow = 1 would drop every arrival under the probabilistic
+        # model; with buffer_capacity set, actual occupancy decides
+        # instead, so the broadcast still saturates.
+        sim = NocSimulator(
+            Mesh2D(3, 3),
+            FloodingProtocol(),
+            FaultConfig(p_overflow=1.0),
+            seed=0,
+            default_ttl=20,
+            buffer_capacity=16,
+        )
+        sim.mount(0, OneShotProducer(4, ttl=20))
+        result = sim.run(20, until=lambda s: len(s.informed_tiles()) == 9)
+        assert result.completed
+        assert result.stats.overflow_drops == 0
+
+    def test_stochastic_overflow_applies_without_capacity(self):
+        sim = NocSimulator(
+            Mesh2D(3, 3),
+            FloodingProtocol(),
+            FaultConfig(p_overflow=1.0),
+            seed=0,
+            default_ttl=20,
+        )
+        sim.mount(0, OneShotProducer(4, ttl=20))
+        result = sim.run(20, until=lambda s: len(s.informed_tiles()) == 9)
+        assert not result.completed
+        assert result.stats.overflow_drops > 0
+
+    def test_capacity_bounds_buffers_by_eviction_not_bernoulli_drops(self):
+        # The explicit model handles pressure by evicting the oldest
+        # buffered message (thesis §4.2): occupancy stays bounded and
+        # the Bernoulli drop counter stays untouched even at
+        # p_overflow = 1.
+        sim = NocSimulator(
+            Mesh2D(4, 4),
+            FloodingProtocol(),
+            FaultConfig(p_overflow=1.0),
+            seed=0,
+            default_ttl=20,
+            buffer_capacity=1,
+        )
+        for origin in (0, 3, 12, 15):  # four concurrent distinct rumors
+            sim.mount(origin, OneShotProducer(5, ttl=20))
+        sim.run(20, until=lambda s: False)
+        assert sim.stats.overflow_drops == 0
+        assert all(
+            len(tile.send_buffer) <= 1 for tile in sim.tiles.values()
+        )
