@@ -110,6 +110,7 @@ def cmd_spread(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         cache_dir=args.cache_dir,
         collect_metrics=collect_metrics,
+        backend=args.backend,
     )
     if collect_metrics:
         _write_metrics_json(
@@ -138,7 +139,8 @@ def cmd_spread(args: argparse.Namespace) -> int:
         print(f"  {round_index:>3} : {informed:.1f}")
     # One illustrative run's final picture.
     simulator = NocSimulator(
-        topology, StochasticProtocol(args.p), seed=args.seed
+        topology, StochasticProtocol(args.p), seed=args.seed,
+        backend=args.backend,
     )
     from repro.experiments.grid_spread import _BroadcastSeed
 
@@ -266,6 +268,7 @@ def cmd_policies_compare(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         n_workers=args.workers,
         cache_dir=args.cache_dir,
+        backend=args.backend,
     )
     print(
         f"four-policy broadcast comparison on a {args.side}x{args.side} "
@@ -359,6 +362,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         cache_dir=args.cache_dir,
         collect_metrics=args.metrics_out is not None,
+        backend=args.backend,
     )
     if args.metrics_out is not None:
         _write_metrics_json(
@@ -408,6 +412,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             seed=args.seed + rep,
             default_ttl=args.rounds,
             profiler=profiler,
+            backend=args.backend,
         )
         simulator.mount(0, _BroadcastSeed(ttl=args.rounds))
         simulator.run(
@@ -474,6 +479,20 @@ def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_argument(subparser: argparse.ArgumentParser) -> None:
+    """The engine-backend selector (see docs/performance.md)."""
+    from repro.noc.backends import KNOWN_BACKENDS
+
+    subparser.add_argument(
+        "--backend",
+        choices=KNOWN_BACKENDS,
+        default="object",
+        help="engine backend: 'object' (reference) or 'fast' (vectorised "
+        "structure-of-arrays engine; bit-identical results, ~10x round "
+        "throughput)",
+    )
+
+
 def _add_metrics_out_argument(subparser: argparse.ArgumentParser) -> None:
     """The per-round metrics export flag (see docs/observability.md)."""
     subparser.add_argument(
@@ -505,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     spread.add_argument("--p", type=float, default=0.5)
     spread.add_argument("--repetitions", type=int, default=5)
     spread.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(spread)
     _add_runner_arguments(spread)
     _add_metrics_out_argument(spread)
     spread.set_defaults(handler=cmd_spread)
@@ -570,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--upset", type=float, default=0.0)
     profile.add_argument("--overflow", type=float, default=0.0)
     profile.add_argument("--sigma", type=float, default=0.0)
+    _add_backend_argument(profile)
     profile.set_defaults(handler=cmd_profile)
 
     chaos = subparsers.add_parser(
@@ -602,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="mean final coverage a cell must sustain to count as "
         "tolerated (default: 0.99)",
     )
+    _add_backend_argument(chaos)
     _add_runner_arguments(chaos)
     _add_metrics_out_argument(chaos)
     chaos.set_defaults(handler=cmd_chaos)
@@ -625,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--repetitions", type=_positive_int, default=5)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--max-rounds", type=_positive_int, default=48)
+    _add_backend_argument(compare)
     _add_runner_arguments(compare)
     compare.set_defaults(handler=cmd_policies_compare)
 

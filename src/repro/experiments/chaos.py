@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.protocol import StochasticProtocol
 from repro.experiments.common import (
+    backend_params,
     metrics_params,
     resolve_runner,
     split_metrics,
@@ -81,6 +82,7 @@ def _chaos_once(
     seed: int,
     max_rounds: int,
     collect_metrics: bool = False,
+    backend: str = "object",
 ) -> tuple:
     """One broadcast run under one scenario cell.
 
@@ -100,6 +102,7 @@ def _chaos_once(
         default_ttl=max_rounds,
         observer=collector,
         scenario=scenario_for(kind, intensity),
+        backend=backend,
     )
     simulator.mount(0, _BroadcastSeed(ttl=max_rounds))
     result = simulator.run(
@@ -210,6 +213,7 @@ def run(
     runner: SweepRunner | None = None,
     cache_dir: str | None = None,
     collect_metrics: bool = False,
+    backend: str = "object",
 ) -> ChaosReport:
     """Sweep the scenario grid and derive dynamic tolerance thresholds.
 
@@ -235,6 +239,7 @@ def run(
             max_rounds=max_rounds,
             label=f"chaos {kind} intensity={level} rep={rep}",
             **metrics_params(collect_metrics),
+            **backend_params(backend),
         )
         for kind, level in cells
         for rep in range(repetitions)

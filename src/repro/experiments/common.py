@@ -42,6 +42,24 @@ def resolve_runner(
     return SweepRunner(n_workers=n_workers, cache_dir=cache_dir)
 
 
+def backend_params(backend: str) -> dict[str, str]:
+    """The extra task params of a non-default engine-backend run.
+
+    Mirrors :func:`metrics_params`: object-backend tasks omit the
+    parameter entirely, so their cache keys are byte-identical to
+    pre-backend sweeps and existing on-disk caches stay valid, while
+    ``backend="fast"`` tasks carry the parameter and hash separately —
+    backend provenance is auditable even though both backends produce
+    bit-identical results (see ``docs/performance.md``).
+    """
+    from repro.noc.backends import KNOWN_BACKENDS, OBJECT_BACKEND
+
+    if backend not in KNOWN_BACKENDS:
+        known = ", ".join(repr(name) for name in KNOWN_BACKENDS)
+        raise ValueError(f"backend must be one of {known}, got {backend!r}")
+    return {"backend": backend} if backend != OBJECT_BACKEND else {}
+
+
 def metrics_params(collect_metrics: bool) -> dict[str, bool]:
     """The extra task params of an instrumented run.
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.packet import BROADCAST
 from repro.core.protocol import StochasticProtocol
 from repro.experiments.common import (
+    backend_params,
     metrics_params,
     resolve_runner,
     split_metrics,
@@ -80,11 +81,13 @@ def _spread_once(
     seed: int,
     max_rounds: int,
     collect_metrics: bool = False,
+    backend: str = "object",
 ) -> tuple:
     """One broadcast run; returns (completed, rounds, informed curve).
 
     With ``collect_metrics=True`` a :class:`repro.metrics.RunMetrics`
-    per-round time series is appended to the tuple.
+    per-round time series is appended to the tuple.  ``backend`` picks
+    the engine (bit-identical results either way).
     """
     n = topology.n_tiles
     collector = MetricsCollector() if collect_metrics else None
@@ -94,6 +97,7 @@ def _spread_once(
         seed=seed,
         default_ttl=max_rounds,
         observer=collector,
+        backend=backend,
     )
     simulator.mount(origin, _BroadcastSeed(ttl=max_rounds))
     result = simulator.run(
@@ -122,13 +126,16 @@ def measure_spread(
     runner: SweepRunner | None = None,
     cache_dir: str | None = None,
     collect_metrics: bool = False,
+    backend: str = "object",
 ) -> SpreadMeasurement:
     """Broadcast from `origin` and measure rounds to full saturation.
 
     With ``collect_metrics=True`` each repetition records a
     :class:`repro.metrics.RunMetrics` time series; the measurement then
     carries the per-repetition series (``run_metrics``) and their
-    mean/CI aggregate (``metrics``).
+    mean/CI aggregate (``metrics``).  ``backend`` selects the engine
+    backend for every repetition (``"fast"`` for the vectorised engine;
+    results are bit-identical, only wall-clock changes).
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
@@ -144,6 +151,7 @@ def measure_spread(
             max_rounds=max_rounds,
             label=f"grid_spread {label} rep={rep}",
             **metrics_params(collect_metrics),
+            **backend_params(backend),
         )
         for rep in range(repetitions)
     )
@@ -186,6 +194,7 @@ def run(
     runner: SweepRunner | None = None,
     cache_dir: str | None = None,
     collect_metrics: bool = False,
+    backend: str = "object",
 ) -> list[SpreadMeasurement]:
     """Compare mesh / torus / complete-graph saturation at n = side^2."""
     n = side * side
@@ -199,6 +208,7 @@ def run(
             name=name,
             runner=sweep,
             collect_metrics=collect_metrics,
+            backend=backend,
         )
         for topology, name in (
             (FullyConnected(n), "fully connected"),

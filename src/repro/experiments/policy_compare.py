@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.common import resolve_runner
+from repro.experiments.common import backend_params, resolve_runner
 from repro.experiments.grid_spread import _BroadcastSeed
 from repro.faults import CrashPlan, FaultConfig
 from repro.noc.engine import NocSimulator
@@ -85,6 +85,7 @@ def _policy_once(
     n_dead_links: int,
     max_rounds: int,
     seed: int,
+    backend: str = "object",
 ) -> dict[str, float]:
     """One broadcast-saturation run of `spec` under one fault setting."""
     topology = Mesh2D(side, side)
@@ -100,6 +101,7 @@ def _policy_once(
         seed=seed,
         default_ttl=max_rounds,
         crash_plan=crash_plan,
+        backend=backend,
     )
     simulator.mount(0, _BroadcastSeed(ttl=max_rounds))
     n = topology.n_tiles
@@ -149,6 +151,7 @@ def run(
     n_workers: int = 1,
     runner: SweepRunner | None = None,
     cache_dir: str | None = None,
+    backend: str = "object",
 ) -> list[PolicyPoint]:
     """Sweep every policy against every fault axis (one flat task batch).
 
@@ -188,6 +191,7 @@ def run(
             # hence the same crash map) under every policy.
             seed=seed + rep,
             label=f"policy_compare {spec.name} {fault}={level} rep={rep}",
+            **backend_params(backend),
         )
         for spec, fault, level, overrides in cells
         for rep in range(repetitions)

@@ -1,0 +1,41 @@
+"""Engine backends: the reference object engine and the vectorised one.
+
+See ``docs/performance.md`` for the architecture and
+:mod:`repro.noc.backends.base` for the registry.  The fast engine is
+re-exported lazily so importing this package never drags in the full
+engine (and its numpy state machinery) unless a fast simulator is
+actually requested.
+"""
+
+from __future__ import annotations
+
+from repro.noc.backends.base import (
+    BACKEND_REGISTRY,
+    FAST_BACKEND,
+    KNOWN_BACKENDS,
+    OBJECT_BACKEND,
+    EngineBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKEND_REGISTRY",
+    "EngineBackend",
+    "FAST_BACKEND",
+    "FastNocSimulator",
+    "KNOWN_BACKENDS",
+    "OBJECT_BACKEND",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+]
+
+
+def __getattr__(name: str):
+    if name == "FastNocSimulator":
+        from repro.noc.backends.fast import FastNocSimulator
+
+        return FastNocSimulator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

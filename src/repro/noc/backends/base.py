@@ -1,0 +1,107 @@
+"""Engine-backend registry and the shared :class:`EngineBackend` protocol.
+
+The simulator core is a two-backend architecture (see
+``docs/performance.md``):
+
+* ``"object"`` — the reference engine: one :class:`repro.noc.tile.Tile`
+  object per tile, one :class:`repro.core.packet.Packet` object per
+  buffered copy, pure-Python phase loops.  Every semantic question is
+  answered here first.
+* ``"fast"`` — the structure-of-arrays engine: the live packet population
+  lives in numpy arrays and each round's phases run as batched array ops,
+  drawing from the *same* ``default_rng`` stream in the *same* order, so
+  a (config, seed) pair produces bit-identical results on either backend.
+
+This module is dependency-free on purpose: :mod:`repro.noc.config`
+imports it to validate the ``backend=`` field, and both engine modules
+import it to register themselves, so nothing here may import the engine.
+:func:`resolve_backend` imports the builtin engine modules lazily instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.noc.engine import SimulationResult
+
+#: The reference per-object engine (the default everywhere).
+OBJECT_BACKEND = "object"
+#: The vectorised structure-of-arrays engine.
+FAST_BACKEND = "fast"
+#: Backends shipped with the package; :class:`repro.noc.config.SimConfig`
+#: validates its ``backend`` field against this tuple.
+KNOWN_BACKENDS = (OBJECT_BACKEND, FAST_BACKEND)
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """The surface every engine backend exposes.
+
+    Both backends are full :class:`repro.noc.engine.NocSimulator`
+    API-compatible simulators; this protocol names the load-bearing core
+    that harnesses, observers and the metrics subsystem rely on.
+    """
+
+    def run(self, max_rounds: int = ..., until: object = ...) -> "SimulationResult":
+        """Execute gossip rounds until completion or budget exhaustion."""
+        ...
+
+    def mount(self, tile_id: int, ip: object) -> None:
+        """Attach an IP core to a tile."""
+        ...
+
+    def informed_tiles(self) -> list[int]:
+        """Tiles that have buffered or originated at least one message."""
+        ...
+
+    def application_complete(self) -> bool:
+        """All mounted, live IPs report completion."""
+        ...
+
+
+#: backend name -> simulator class; populated by :func:`register_backend`.
+BACKEND_REGISTRY: dict[str, type] = {}
+
+
+def register_backend(name: str):
+    """Class decorator registering a simulator class under `name`."""
+
+    def decorator(cls: type) -> type:
+        """Register `cls` under `name` and stamp its backend_name."""
+        existing = BACKEND_REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"backend {name!r} already registered by {existing.__name__}"
+            )
+        BACKEND_REGISTRY[name] = cls
+        cls.backend_name = name
+        return cls
+
+    return decorator
+
+
+def _load_builtin_backends() -> None:
+    # Deferred so this module stays import-cycle-free: the engine modules
+    # import the registry, then register themselves on first load.
+    import repro.noc.engine  # noqa: F401  (registers "object")
+    import repro.noc.backends.fast  # noqa: F401  (registers "fast")
+
+
+def resolve_backend(name: str) -> type:
+    """The simulator class registered for `name` (loud on unknown names)."""
+    if name not in BACKEND_REGISTRY:
+        _load_builtin_backends()
+    try:
+        return BACKEND_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKEND_REGISTRY)) or "<none>"
+        raise ValueError(
+            f"unknown engine backend {name!r}; registered backends: {known}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends (builtins loaded on demand)."""
+    _load_builtin_backends()
+    return tuple(sorted(BACKEND_REGISTRY))

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.protocol import StochasticProtocol
 from repro.crc import CRC, CRC16_CCITT
 from repro.faults import CrashPlan, FaultConfig, ScenarioSpec, describe_scenario
+from repro.noc.backends.base import KNOWN_BACKENDS, OBJECT_BACKEND
 from repro.noc.link import DEFAULT_LINK, LinkModel
 from repro.noc.topology import Topology
 from repro.policies.base import (
@@ -129,6 +130,11 @@ class SimConfig:
     egress_limits: dict[int, int] = field(default_factory=dict)
     bus_tiles: frozenset[int] = frozenset()
     scenario: ScenarioSpec | None = None
+    #: Which engine executes this config: "object" (the reference
+    #: per-object engine) or "fast" (the vectorised structure-of-arrays
+    #: engine).  Both produce bit-identical results for any supported
+    #: config — see docs/performance.md for the fast backend's limits.
+    backend: str = OBJECT_BACKEND
 
     def __post_init__(self) -> None:
         # Normalise the permissive constructor types to canonical ones so
@@ -189,6 +195,11 @@ class SimConfig:
                 f"scenario must be a repro.faults.ScenarioSpec or None, "
                 f"got {type(self.scenario).__name__}"
             )
+        if self.backend not in KNOWN_BACKENDS:
+            known = ", ".join(repr(name) for name in KNOWN_BACKENDS)
+            raise ValueError(
+                f"backend must be one of {known}, got {self.backend!r}"
+            )
 
     # ----------------------------------------------------------- convenience
 
@@ -207,9 +218,13 @@ class SimConfig:
     def describe(self) -> tuple:
         """A canonical, deterministic tuple form of every field.
 
-        Scenario-free configs emit exactly the pre-scenario tuple, so
-        legacy cache tokens are pinned: existing on-disk caches remain
-        valid and a scenario run can never alias a scenario-free one.
+        Scenario-free configs emit exactly the pre-scenario tuple, and
+        object-backend configs omit the backend entry, so legacy cache
+        tokens are pinned: existing on-disk caches remain valid, a
+        scenario run can never alias a scenario-free one, and — because
+        both backends are bit-identical — a fast-backend run *should not*
+        produce a different result than the cached object-backend one,
+        but its token still differs so backend provenance is auditable.
         """
         base = (
             describe_topology(self.topology),
@@ -229,9 +244,11 @@ class SimConfig:
             tuple(sorted(self.egress_limits.items())),
             tuple(sorted(self.bus_tiles)),
         )
-        if self.scenario is None:
-            return base
-        return base + (("scenario", describe_scenario(self.scenario)),)
+        if self.scenario is not None:
+            base = base + (("scenario", describe_scenario(self.scenario)),)
+        if self.backend != OBJECT_BACKEND:
+            base = base + (("backend", self.backend),)
+        return base
 
     def cache_token(self) -> str:
         """A stable content hash of the whole configuration.

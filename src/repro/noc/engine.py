@@ -38,6 +38,11 @@ from repro.core.protocol import StochasticProtocol
 from repro.crc import CRC, CRC16_CCITT
 from repro.faults import CrashPlan, FaultConfig, FaultInjector
 from repro.faults.scenarios import ScenarioSpec, ScenarioState
+from repro.noc.backends.base import (
+    OBJECT_BACKEND,
+    register_backend,
+    resolve_backend,
+)
 from repro.noc.clock import ClockDomain
 from repro.noc.config import SimConfig
 from repro.noc.link import DEFAULT_LINK, LinkModel
@@ -88,6 +93,13 @@ class NocSimulator:
 
     Args:
         topology: tile interconnect graph.
+        backend: which engine executes the run — ``"object"`` (this
+            class, the per-object reference engine) or ``"fast"`` (the
+            vectorised structure-of-arrays engine of
+            :mod:`repro.noc.backends.fast`, bit-identical results at a
+            fraction of the wall clock; see ``docs/performance.md``).
+            The constructor dispatches to the registered backend class,
+            so ``NocSimulator(..., backend="fast")`` *is* a fast engine.
         protocol: the forwarding rule.  Either a legacy protocol object
             (:class:`repro.core.protocol.StochasticProtocol` and friends,
             run bit-identically to the pre-policy engine) or a
@@ -152,6 +164,19 @@ class NocSimulator:
     once and stamp out seeded replicas.
     """
 
+    #: Registry name of this engine backend (subclasses override via
+    #: :func:`repro.noc.backends.base.register_backend`).
+    backend_name = OBJECT_BACKEND
+
+    def __new__(cls, *args: object, **kwargs: object):
+        # Constructing the base class with backend="fast" dispatches to
+        # the registered fast-engine subclass; explicit subclass
+        # construction is never redirected.
+        backend = kwargs.get("backend")
+        if cls is NocSimulator and backend not in (None, OBJECT_BACKEND):
+            return object.__new__(resolve_backend(backend))
+        return object.__new__(cls)
+
     def __init__(
         self,
         topology: Topology,
@@ -173,6 +198,7 @@ class NocSimulator:
         egress_limits: dict[int, int] | None = None,
         bus_tiles: frozenset[int] | set[int] = frozenset(),
         scenario: ScenarioSpec | None = None,
+        backend: str | None = None,
         observer: Observer | Sequence[Observer] | None = None,
         profiler: "PhaseProfiler | None" = None,
     ) -> None:
@@ -194,6 +220,7 @@ class NocSimulator:
             egress_limits=egress_limits or {},
             bus_tiles=frozenset(bus_tiles),
             scenario=scenario,
+            backend=backend if backend is not None else type(self).backend_name,
         )
         self._init_from_config(
             config, seed=seed, observer=observer, profiler=profiler
@@ -214,12 +241,18 @@ class NocSimulator:
         configuration: the same config replayed with the same seed
         reproduces a run bit-for-bit, and different seeds give
         independent repetitions of the same experiment.
+
+        The config's ``backend`` field picks the engine class: a config
+        with ``backend="fast"`` comes back as a
+        :class:`repro.noc.backends.fast.FastNocSimulator` regardless of
+        which class the method was called on.
         """
         if not isinstance(config, SimConfig):
             raise TypeError(
                 f"from_config expects a SimConfig, got {type(config).__name__}"
             )
-        simulator = cls.__new__(cls)
+        backend_cls = resolve_backend(config.backend)
+        simulator = object.__new__(backend_cls)
         simulator._init_from_config(
             config, seed=seed, observer=observer, profiler=profiler
         )
@@ -238,9 +271,22 @@ class NocSimulator:
         observer: Observer | Sequence[Observer] | None,
         profiler: "PhaseProfiler | None" = None,
     ) -> None:
+        if config.backend != type(self).backend_name:
+            raise ValueError(
+                f"config requests backend {config.backend!r} but "
+                f"{type(self).__name__} implements "
+                f"{type(self).backend_name!r}; build via NocSimulator"
+                f"(..., backend=...) or NocSimulator.from_config"
+            )
         self._config = config
         topology = config.topology
         self.topology = topology
+        # Adjacency is static for a run: resolve the port-ordered neighbor
+        # tuples once instead of re-querying the topology every round.
+        self._tile_ids: list[int] = topology.tile_ids
+        self._neighbors: dict[int, tuple[int, ...]] = {
+            tid: topology.neighbors(tid) for tid in self._tile_ids
+        }
         if isinstance(config.protocol, PolicySpec):
             # Policy-native run: build a fresh, zero-state policy instance
             # from the frozen spec (state never leaks between runs).
@@ -262,9 +308,7 @@ class NocSimulator:
 
         default_ttl = config.default_ttl
         if default_ttl is None:
-            n = topology.n_tiles
-            diameter = topology.diameter() if n <= 128 else int(2 * np.sqrt(n))
-            default_ttl = diameter + int(np.ceil(np.log2(max(n, 2)))) + 2
+            default_ttl = topology.default_ttl_bound()
         self.default_ttl = default_ttl
 
         nominal_round_s = config.nominal_round_s
@@ -485,7 +529,7 @@ class NocSimulator:
 
         time_s = max(
             self.clocks[tid].round_end(final_round if completed else max_rounds - 1)
-            for tid in self.topology.tile_ids
+            for tid in self._tile_ids
         )
         energy_j = self.stats.energy_j
         return SimulationResult(
@@ -549,7 +593,7 @@ class NocSimulator:
             self.stats.per_round_informed[round_index] = newly_informed
 
     def _compute_phase(self, round_index: int) -> None:
-        for tile_id in self.topology.tile_ids:
+        for tile_id in self._tile_ids:
             tile = self.tiles[tile_id]
             if not tile.alive:
                 continue
@@ -570,11 +614,11 @@ class NocSimulator:
                 self.stats.ttl_expirations += tile.decrement_ttls()
 
     def _send_phase(self, round_index: int) -> None:
-        for tile_id in self.topology.tile_ids:
+        for tile_id in self._tile_ids:
             tile = self.tiles[tile_id]
             if not tile.alive:
                 continue
-            neighbors = self.topology.neighbors(tile_id)
+            neighbors = self._neighbors[tile_id]
             if not neighbors:
                 continue
             sender_clock = self.clocks[tile_id]
@@ -719,3 +763,6 @@ class NocSimulator:
     def tile(self, tile_id: int) -> Tile:
         self.topology.validate_tile(tile_id)
         return self.tiles[tile_id]
+
+
+register_backend(OBJECT_BACKEND)(NocSimulator)

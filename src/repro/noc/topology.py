@@ -14,12 +14,18 @@ take out one direction only.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from functools import cached_property
 
 
 class Topology(ABC):
     """Abstract tile interconnect graph."""
+
+    #: Above this tile count :meth:`estimated_diameter` stops running the
+    #: O(n^2) all-pairs BFS and falls back to the ``2 * sqrt(n)`` grid
+    #: estimate — unless the topology has a closed form.
+    EXACT_DIAMETER_LIMIT = 128
 
     @property
     @abstractmethod
@@ -95,6 +101,46 @@ class Topology(ABC):
             if a < b
         )
 
+    def closed_form_diameter(self) -> int | None:
+        """Exact diameter in O(1), or None when no closed form exists.
+
+        Regular topologies (grids, tori, rings, stars, complete graphs)
+        override this; :meth:`estimated_diameter` prefers it over both the
+        brute-force BFS and the square-root guess at any size.
+        """
+        return None
+
+    def estimated_diameter(self, exact_limit: int | None = None) -> int:
+        """The diameter, exactly when affordable, else a grid-flavored bound.
+
+        Resolution order:
+
+        1. :meth:`closed_form_diameter` when the topology has one (exact at
+           any size, O(1));
+        2. the exact all-pairs BFS :meth:`diameter` for graphs of at most
+           `exact_limit` tiles (default :data:`EXACT_DIAMETER_LIMIT`);
+        3. the historical ``int(2 * sqrt(n))`` estimate — exact-ish for
+           near-square meshes, conservative for most others.
+        """
+        closed = self.closed_form_diameter()
+        if closed is not None:
+            return closed
+        limit = self.EXACT_DIAMETER_LIMIT if exact_limit is None else exact_limit
+        if self.n_tiles <= limit:
+            return self.diameter()
+        return int(2 * math.sqrt(self.n_tiles))
+
+    def default_ttl_bound(self) -> int:
+        """The engine's default packet TTL: diameter + ceil(log2 n) + 2.
+
+        Crossing the chip takes at most a diameter of hops; the log term
+        covers the rumor-spreading rounds on top, and the +2 is slack for
+        unlucky RND draws.  Shared by every engine backend so both derive
+        identical TTLs from one heuristic.
+        """
+        n = self.n_tiles
+        return self.estimated_diameter() + int(math.ceil(math.log2(max(n, 2)))) + 2
+
     def is_connected(self, excluding: frozenset[int] = frozenset()) -> bool:
         """Is the graph connected once `excluding` tiles are removed?"""
         remaining = [tid for tid in self.tile_ids if tid not in excluding]
@@ -164,6 +210,10 @@ class Mesh2D(Topology):
         rb, cb = self.coordinates(b)
         return abs(ra - rb) + abs(ca - cb)
 
+    def closed_form_diameter(self) -> int:
+        # Opposite corners: (rows-1) + (cols-1) Manhattan hops.
+        return (self.rows - 1) + (self.cols - 1)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Mesh2D({self.rows}x{self.cols})"
 
@@ -193,6 +243,10 @@ class Torus2D(Mesh2D):
         dc = abs(ca - cb)
         return min(dr, self.rows - dr) + min(dc, self.cols - dc)
 
+    def closed_form_diameter(self) -> int:
+        # Wraparound halves each dimension's worst case.
+        return self.rows // 2 + self.cols // 2
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Torus2D({self.rows}x{self.cols})"
 
@@ -219,11 +273,12 @@ class FullyConnected(Topology):
         return tuple(t for t in range(self._n) if t != tile_id)
 
     def position(self, tile_id: int) -> tuple[float, float]:
-        import math
-
         self.validate_tile(tile_id)
         angle = 2.0 * math.pi * tile_id / self._n
         return (math.cos(angle), math.sin(angle))
+
+    def closed_form_diameter(self) -> int:
+        return 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FullyConnected({self._n})"
@@ -246,11 +301,12 @@ class RingTopology(Topology):
         return ((tile_id - 1) % self._n, (tile_id + 1) % self._n)
 
     def position(self, tile_id: int) -> tuple[float, float]:
-        import math
-
         self.validate_tile(tile_id)
         angle = 2.0 * math.pi * tile_id / self._n
         return (math.cos(angle), math.sin(angle))
+
+    def closed_form_diameter(self) -> int:
+        return self._n // 2
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RingTopology({self._n})"
@@ -280,13 +336,15 @@ class StarTopology(Topology):
         return (0,)
 
     def position(self, tile_id: int) -> tuple[float, float]:
-        import math
-
         self.validate_tile(tile_id)
         if tile_id == 0:
             return (0.0, 0.0)
         angle = 2.0 * math.pi * (tile_id - 1) / self.n_spokes
         return (math.cos(angle), math.sin(angle))
+
+    def closed_form_diameter(self) -> int:
+        # Spoke -> hub -> spoke.
+        return 2
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"StarTopology({self.n_spokes} spokes)"

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.protocol import ForwardDecision
 from repro.policies.base import (
+    BatchDecisionView,
     ForwardingPolicy,
     PolicyContext,
     register_policy,
@@ -190,6 +191,23 @@ class AdaptiveProbabilityPolicy(ForwardingPolicy):
             ForwardDecision(port, neighbor, bool(draws[port]))
             for port, neighbor in enumerate(neighbors)
         ]
+
+    def decide_batch(self, batch: BatchDecisionView) -> np.ndarray:
+        # p_eff is a pure function of the owning tile's occupancy and
+        # drop score this round, so compute it once per distinct tile and
+        # broadcast to that tile's rows.
+        out = np.empty(len(batch))
+        cache: dict[int, float] = {}
+        capacity = batch.buffer_capacity
+        for row, (tile_id, occupancy) in enumerate(
+            zip(batch.tile_ids.tolist(), batch.buffer_occupancy.tolist())
+        ):
+            p = cache.get(tile_id)
+            if p is None:
+                p = self.effective_probability(tile_id, occupancy, capacity)
+                cache[tile_id] = p
+            out[row] = p
+        return out
 
     def expected_copies_per_round(self, degree: int) -> float:
         return degree * self.p_base

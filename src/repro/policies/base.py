@@ -54,6 +54,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 @dataclass(frozen=True)
+class BatchDecisionView:
+    """One send phase's packet rows, as arrays, for vectorised policies.
+
+    The fast engine backend offers the *whole* round's (tile, buffered
+    packet) rows to :meth:`ForwardingPolicy.decide_batch` at once.  Rows
+    are ordered exactly as the per-object engine would visit them: tiles
+    in id order, each tile's packets in buffer-insertion order.
+
+    Attributes:
+        round_index: current gossip round.
+        tile_ids: owning (forwarding) tile per row.
+        sources: packet-key source half per row.
+        message_ids: packet-key message-id half per row.
+        buffer_occupancy: the owning tile's send-buffer size per row.
+        buffer_capacity: the global buffer bound, or None when unbounded.
+    """
+
+    round_index: int
+    tile_ids: np.ndarray
+    sources: np.ndarray
+    message_ids: np.ndarray
+    buffer_occupancy: np.ndarray
+    buffer_capacity: int | None
+
+    def __len__(self) -> int:
+        return len(self.tile_ids)
+
+
+@dataclass(frozen=True)
 class PolicyContext:
     """What a policy may observe when deciding one (packet, link) pair.
 
@@ -213,6 +242,43 @@ class ForwardingPolicy:
             for port, neighbor in enumerate(neighbors)
         ]
 
+    def decide_batch(self, batch: BatchDecisionView) -> np.ndarray | None:
+        """Per-row forwarding probabilities for a whole send phase.
+
+        The vectorised entry point used by the fast engine backend.  A
+        policy that can express its rule as "row i transmits on each of
+        its ports independently with probability ``p[i]``" returns that
+        float array (one entry per batch row); the engine then draws the
+        per-port coins itself with the exact stream discipline of
+        :meth:`decisions` — no draw for ``p[i] >= 1`` (deterministic
+        transmit) or ``p[i] == 0`` (silenced), one ``rng.random(n_ports)``
+        block in row order otherwise.
+
+        Returning None (the default) means "no vectorised form": the
+        engine falls back to calling :meth:`decisions` per row, so every
+        policy keeps working on every backend.
+        """
+        del batch
+        return None
+
+    def on_duplicates_batch(
+        self,
+        tile_ids: np.ndarray,
+        sources: np.ndarray,
+        message_ids: np.ndarray,
+        round_index: int,
+    ) -> bool:
+        """Vectorised form of :meth:`on_duplicate_received`.
+
+        The fast backend reports one receive phase's suppressed intact
+        duplicates as parallel arrays (processing order preserved).
+        Return True when handled; the default returns False, telling the
+        engine to replay the events through
+        :meth:`on_duplicate_received` one by one.
+        """
+        del tile_ids, sources, message_ids, round_index
+        return False
+
     def expected_copies_per_round(self, degree: int) -> float:
         """Mean link transmissions one buffered packet causes per round."""
         return float(degree)
@@ -274,6 +340,20 @@ class LegacyProtocolPolicy(ForwardingPolicy):
         buffer_capacity: int | None = None,
     ) -> list[ForwardDecision]:
         return self.protocol.decide(packet, neighbors, rng, tile_id=tile_id)
+
+    def decide_batch(self, batch: BatchDecisionView) -> np.ndarray | None:
+        # Only when the wrapped object demonstrably IS the memoryless
+        # Bernoulli rule (no decide override anywhere in its MRO) can the
+        # batch form reproduce it: constant p per row, same draw pattern
+        # as StochasticProtocol.decide.  Anything else — XY routing,
+        # custom protocols — keeps the verbatim per-packet delegation.
+        protocol = self.protocol
+        if (
+            isinstance(protocol, StochasticProtocol)
+            and type(protocol).decide is StochasticProtocol.decide
+        ):
+            return np.full(len(batch), float(protocol.forward_probability))
+        return None
 
     def expected_copies_per_round(self, degree: int) -> float:
         return self.protocol.expected_copies_per_round(degree)

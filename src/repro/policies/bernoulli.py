@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.protocol import ForwardDecision
 from repro.policies.base import (
+    BatchDecisionView,
     ForwardingPolicy,
     PolicyContext,
     register_policy,
@@ -92,6 +93,10 @@ class BernoulliPolicy(ForwardingPolicy):
             for port, neighbor in enumerate(neighbors)
         ]
 
+    def decide_batch(self, batch: BatchDecisionView) -> np.ndarray:
+        # Memoryless: every row forwards with the same p.
+        return np.full(len(batch), self.forward_probability)
+
     def expected_copies_per_round(self, degree: int) -> float:
         return degree * self.forward_probability
 
@@ -138,3 +143,7 @@ class FloodPolicy(ForwardingPolicy):
             ForwardDecision(port, neighbor, True)
             for port, neighbor in enumerate(neighbors)
         ]
+
+    def decide_batch(self, batch: BatchDecisionView) -> np.ndarray:
+        # Deterministic transmit everywhere; p = 1 rows never draw.
+        return np.ones(len(batch))

@@ -15,7 +15,10 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
 from repro.policies.base import (
+    BatchDecisionView,
     ForwardingPolicy,
     PolicyContext,
     register_policy,
@@ -68,6 +71,21 @@ class CounterGossipPolicy(ForwardingPolicy):
     ) -> None:
         self._duplicates[(tile_id, packet.key)] += 1
 
+    def on_duplicates_batch(
+        self,
+        tile_ids: np.ndarray,
+        sources: np.ndarray,
+        message_ids: np.ndarray,
+        round_index: int,
+    ) -> bool:
+        del round_index
+        duplicates = self._duplicates
+        for tile_id, source, message_id in zip(
+            tile_ids.tolist(), sources.tolist(), message_ids.tolist()
+        ):
+            duplicates[(tile_id, (source, message_id))] += 1
+        return True
+
     # ------------------------------------------------------------- decisions
 
     def duplicates_seen(self, tile_id: int, key: tuple[int, int]) -> int:
@@ -87,6 +105,24 @@ class CounterGossipPolicy(ForwardingPolicy):
         if p == 1.0:
             return True
         return bool(ctx.rng.random() < p)
+
+    def decide_batch(self, batch: BatchDecisionView) -> np.ndarray:
+        # Silenced (tile, message) rows get p = 0 (no draw, matching the
+        # draw-free `decide` early-out); live rows behave like Bernoulli.
+        out = np.full(len(batch), self.forward_probability)
+        if self._duplicates:
+            get = self._duplicates.get
+            k = self.k
+            for row, (tile_id, source, message_id) in enumerate(
+                zip(
+                    batch.tile_ids.tolist(),
+                    batch.sources.tolist(),
+                    batch.message_ids.tolist(),
+                )
+            ):
+                if get((tile_id, (source, message_id)), 0) >= k:
+                    out[row] = 0.0
+        return out
 
     def expected_copies_per_round(self, degree: int) -> float:
         # Upper bound: a not-yet-silenced message behaves like Bernoulli.

@@ -2,7 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+@pytest.fixture
+def engine_backend() -> str:
+    """The engine backend under test: the ``REPRO_BACKEND`` env toggle.
+
+    Tests that take this fixture run their simulations on whichever
+    backend the environment selects (default ``"object"``), which is how
+    CI re-runs the suite's backend-sensitive tests against the fast
+    structure-of-arrays engine — see ``docs/performance.md``.
+    """
+    from repro.noc.backends import KNOWN_BACKENDS
+
+    backend = os.environ.get("REPRO_BACKEND", "object")
+    if backend not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND={backend!r} is not a known engine backend; "
+            f"expected one of {KNOWN_BACKENDS}"
+        )
+    return backend
 
 
 @pytest.fixture

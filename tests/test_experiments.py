@@ -203,3 +203,57 @@ class TestFig5_3:
             max_rounds=2500,
         )
         assert rows[-1].name == "central router"
+
+
+class TestBackendThreading:
+    """The ``backend=`` execution keyword on the experiment harnesses.
+
+    Both backends are bit-identical (see test_backends_equivalence), so
+    a harness run on ``backend="fast"`` must reproduce the object-backend
+    measurement exactly — and object-backend tasks must keep their
+    legacy cache keys (the parameter is omitted entirely).
+    """
+
+    def test_backend_params_pins_legacy_keys(self):
+        from repro.experiments.common import backend_params
+
+        assert backend_params("object") == {}
+        assert backend_params("fast") == {"backend": "fast"}
+        with pytest.raises(ValueError, match="backend must be one of"):
+            backend_params("warp")
+
+    def test_grid_spread_identical_across_backends(self):
+        from repro.experiments.grid_spread import measure_spread
+        from repro.noc.topology import Mesh2D
+
+        kwargs = dict(repetitions=2, seed=3, max_rounds=40)
+        slow = measure_spread(Mesh2D(4, 4), 0.5, **kwargs)
+        fast = measure_spread(Mesh2D(4, 4), 0.5, backend="fast", **kwargs)
+        assert fast == slow
+
+    def test_chaos_identical_across_backends(self):
+        from repro.experiments import chaos
+
+        kwargs = dict(
+            kinds=("burst_upsets",),
+            levels=(0.0, 0.5),
+            side=3,
+            repetitions=1,
+            max_rounds=24,
+        )
+        assert chaos.run(backend="fast", **kwargs) == chaos.run(**kwargs)
+
+    def test_policy_compare_identical_across_backends(self):
+        from repro.experiments import policy_compare
+
+        kwargs = dict(
+            side=3,
+            upset_rates=(0.0, 0.2),
+            overflow_rates=(),
+            link_crash_counts=(2,),
+            repetitions=1,
+            max_rounds=24,
+        )
+        slow = policy_compare.run(**kwargs)
+        fast = policy_compare.run(backend="fast", **kwargs)
+        assert fast == slow

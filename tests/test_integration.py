@@ -118,6 +118,46 @@ class TestFullStackDeterminism:
         assert streams[0] == streams[1]
 
 
+class TestBackendToggle:
+    """The suite's env-selected engine backend runs real applications.
+
+    Under ``REPRO_BACKEND=fast`` (the CI matrix's second leg) these same
+    assertions exercise the structure-of-arrays engine end to end.
+    """
+
+    def test_master_slave_pi_on_selected_backend(self, engine_backend):
+        app = MasterSlavePiApp.default_5x5(duplicate=False, n_terms=300)
+        sim = NocSimulator(
+            Mesh2D(5, 5),
+            StochasticProtocol(0.5),
+            seed=0,
+            backend=engine_backend,
+        )
+        app.deploy(sim)
+        sim.run(200, until=lambda s: app.master.complete)
+        assert app.complete
+        assert app.pi_error < 1e-5
+
+    def test_backend_matches_object_reference(self, engine_backend):
+        def broadcast(backend):
+            from repro.core.packet import BROADCAST
+            from repro.noc.tile import IPCore
+
+            class Seed(IPCore):
+                def on_start(self, ctx):
+                    ctx.send(BROADCAST, b"rumor")
+
+            sim = NocSimulator(
+                Mesh2D(4, 4), StochasticProtocol(0.5), seed=9, backend=backend
+            )
+            sim.mount(0, Seed())
+            return sim.run(
+                60, until=lambda s: len(s.informed_tiles()) == 16
+            )
+
+        assert broadcast(engine_backend) == broadcast("object")
+
+
 class TestRedundancyIsTheMechanism:
     def test_disabling_redundancy_breaks_upset_tolerance(self):
         # Flooding on a 1-wide path (2x1... use 2x2 with a single route):
