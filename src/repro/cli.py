@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the common workflows without writing a script:
+Nine commands cover the common workflows without writing a script:
 
 * ``info`` — version and package map;
 * ``spread`` — broadcast a rumor on a topology, print the saturation
@@ -17,11 +17,17 @@ Eight commands cover the common workflows without writing a script:
 * ``chaos`` — sweep the dynamic fault scenarios
   (``repro.faults.scenarios``) over an intensity grid and print the
   degradation report with the recomputed tolerance thresholds
-  (``repro.experiments.chaos``, see ``docs/faults.md``).
+  (``repro.experiments.chaos``, see ``docs/faults.md``);
+* ``db`` — inspect a :class:`repro.service.ResultsDB` results database:
+  ``repro db query`` (read-only SQL), ``repro db export`` (a table as
+  JSON/CSV) and ``repro db gc`` (prune old runs) — see
+  ``docs/service.md``.
 
-``spread`` and ``figure`` accept ``--metrics-out FILE`` to dump the
-per-round metrics time series (``repro.metrics``) as JSON — see
-``docs/observability.md``.
+Every sweep-running command shares one execution flag set, declared once
+on a parent parser: ``--workers``, ``--cache-dir``, ``--db`` (write
+completed tasks through to a results database), ``--backend`` and
+``--metrics-out`` where the harness supports them.  The flags map 1:1
+onto :class:`repro.experiments.common.ExperimentOptions`.
 """
 
 from __future__ import annotations
@@ -76,6 +82,59 @@ def _fault_config(args: argparse.Namespace) -> FaultConfig:
     )
 
 
+#: Default of every shared execution flag, keyed by Namespace attribute —
+#: both the single source for `_sweep_options` and what `_notice_ignored`
+#: compares against.
+_EXECUTION_DEFAULTS = {
+    "workers": 1,
+    "cache_dir": None,
+    "db": None,
+    "backend": "object",
+}
+
+
+def _sweep_options(args: argparse.Namespace, **extra):
+    """The `ExperimentOptions` equivalent of a command's execution flags.
+
+    `extra` carries per-command knobs (``backend=``,
+    ``collect_metrics=``) on top of the universal
+    ``--workers/--cache-dir/--db`` trio.
+    """
+    # Deferred: keep `repro probe --help` etc. from importing the whole
+    # experiments package.
+    from repro.experiments.common import ExperimentOptions
+
+    return ExperimentOptions(
+        n_workers=args.workers,
+        cache_dir=args.cache_dir,
+        db=args.db,
+        **extra,
+    )
+
+
+def _notice_ignored(
+    args: argparse.Namespace, command: str, *flags: str
+) -> None:
+    """Tell the user when a non-sweep command ignores an execution flag.
+
+    The shared parent parser gives every command a uniform interface;
+    commands that run a single in-process simulation accept the flags
+    but cannot honor them — surface that instead of silently dropping
+    an explicitly requested cache or database.
+    """
+    explicit = [
+        "--" + flag.replace("_", "-")
+        for flag in flags
+        if getattr(args, flag) != _EXECUTION_DEFAULTS[flag]
+    ]
+    if explicit:
+        print(
+            f"note: {command} runs in-process (no sweep); "
+            f"{', '.join(explicit)} ignored",
+            file=sys.stderr,
+        )
+
+
 # ------------------------------------------------------------------ commands
 
 
@@ -85,8 +144,8 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("(Dumitras & Marculescu, DATE 2003 / CMU MS thesis 2003)")
     print()
     print("packages: core noc policies metrics faults crc bus energy apps "
-          "mp3 diversity experiments runners")
-    print("commands: info spread probe mp3 figure policies profile chaos")
+          "mp3 diversity experiments runners service")
+    print("commands: info spread probe mp3 figure policies profile chaos db")
     return 0
 
 
@@ -107,10 +166,9 @@ def cmd_spread(args: argparse.Namespace) -> int:
         forward_probability=args.p,
         repetitions=args.repetitions,
         seed=args.seed,
-        n_workers=args.workers,
-        cache_dir=args.cache_dir,
-        collect_metrics=collect_metrics,
-        backend=args.backend,
+        options=_sweep_options(
+            args, collect_metrics=collect_metrics, backend=args.backend
+        ),
     )
     if collect_metrics:
         _write_metrics_json(
@@ -154,6 +212,7 @@ def cmd_spread(args: argparse.Namespace) -> int:
 
 
 def cmd_probe(args: argparse.Namespace) -> int:
+    _notice_ignored(args, "probe", "workers", "cache_dir", "db")
     topology = _build_topology(args.topology, args.side)
     fault_config = _fault_config(args)
     probability = delivery_probability(
@@ -205,6 +264,7 @@ def cmd_mp3(args: argparse.Namespace) -> int:
     from repro.apps.base import run_on_noc
     from repro.mp3 import Mp3Decoder, ParallelMp3App, reconstruction_snr_db
 
+    _notice_ignored(args, "mp3", "workers", "cache_dir", "db")
     app = ParallelMp3App(
         n_frames=args.frames,
         granule=args.granule,
@@ -218,6 +278,7 @@ def cmd_mp3(args: argparse.Namespace) -> int:
         _fault_config(args),
         seed=args.seed,
         default_ttl=24,
+        backend=args.backend,
     )
     result = run_on_noc(app, simulator, max_rounds=args.max_rounds)
     report = app.report()
@@ -266,9 +327,7 @@ def cmd_policies_compare(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
         max_rounds=args.max_rounds,
-        n_workers=args.workers,
-        cache_dir=args.cache_dir,
-        backend=args.backend,
+        options=_sweep_options(args, backend=args.backend),
     )
     print(
         f"four-policy broadcast comparison on a {args.side}x{args.side} "
@@ -308,9 +367,12 @@ def _figure_metrics_document(name: str, outcome: list) -> dict:
     return {"experiment": name, "points": points}
 
 
+#: Figures whose harnesses support the engine-backend selector.
+BACKEND_FIGURES = ("grid_spread",)
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
-    from repro.runners import SweepRunner
 
     collect_metrics = args.metrics_out is not None
     if collect_metrics and args.name not in METRICS_FIGURES:
@@ -320,19 +382,31 @@ def cmd_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.backend != "object" and args.name not in BACKEND_FIGURES:
+        print(
+            f"--backend supports {', '.join(BACKEND_FIGURES)}; "
+            f"{args.name} does not route through the engine backends yet",
+            file=sys.stderr,
+        )
+        return 2
     module = getattr(experiments, args.name)
+    extra = {}
+    if collect_metrics:
+        extra["collect_metrics"] = True
+    if args.name in BACKEND_FIGURES:
+        extra["backend"] = args.backend
+    opts = _sweep_options(args, **extra)
     # One shared runner per invocation: two-panel figures reuse the same
-    # worker pool settings and cache directory.
-    runner = SweepRunner(n_workers=args.workers, cache_dir=args.cache_dir)
+    # worker pool, cache directory and results database.
+    opts = opts.with_runner(opts.make_runner())
     print(f"=== {args.name} ===")
     if args.name in ("fig4_10", "fig4_11"):
-        for point in module.run_overflow(runner=runner):
+        for point in module.run_overflow(options=opts):
             print(point)
-        for point in module.run_synchronization(runner=runner):
+        for point in module.run_synchronization(options=opts):
             print(point)
     else:
-        kwargs = {"collect_metrics": True} if collect_metrics else {}
-        outcome = module.run(runner=runner, **kwargs)
+        outcome = module.run(options=opts)
         if isinstance(outcome, list):
             for row in outcome:
                 print(row)
@@ -359,10 +433,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_rounds=args.max_rounds,
         coverage_target=args.coverage_target,
-        n_workers=args.workers,
-        cache_dir=args.cache_dir,
-        collect_metrics=args.metrics_out is not None,
-        backend=args.backend,
+        options=_sweep_options(
+            args,
+            collect_metrics=args.metrics_out is not None,
+            backend=args.backend,
+        ),
     )
     if args.metrics_out is not None:
         _write_metrics_json(
@@ -401,6 +476,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.experiments.grid_spread import _BroadcastSeed
     from repro.metrics import PhaseProfiler
 
+    _notice_ignored(args, "profile", "workers", "cache_dir", "db")
     topology = _build_topology(args.topology, args.side)
     profiler = PhaseProfiler()
     n = topology.n_tiles
@@ -424,6 +500,64 @@ def cmd_profile(args: argparse.Namespace) -> int:
         f"{args.repetitions} repetition(s), {profiler.rounds} rounds total"
     )
     print(profiler.format_table())
+    return 0
+
+
+def _open_results_db(path: str):
+    """Open an *existing* results database (``repro db`` never creates).
+
+    :class:`ResultsDB` creates-and-migrates on open, which is right for
+    recording but wrong for inspection — a typo'd path would silently
+    materialise an empty database.  Exits with a usage error instead.
+    """
+    import os
+
+    from repro.service.db import ResultsDB
+
+    if not os.path.exists(path):
+        raise SystemExit(f"repro db: no results database at {path!r}")
+    return ResultsDB(path)
+
+
+def cmd_db_query(args: argparse.Namespace) -> int:
+    with _open_results_db(args.database) as db:
+        try:
+            rows = db.query(args.sql)
+        except ValueError as error:
+            print(f"repro db query: {error}", file=sys.stderr)
+            return 2
+    if args.format == "json":
+        print(json.dumps(rows, sort_keys=True, indent=2, default=repr))
+    elif args.format == "csv":
+        import csv
+
+        writer = csv.writer(sys.stdout)
+        if rows:
+            writer.writerow(rows[0].keys())
+            writer.writerows(row.values() for row in rows)
+    else:  # jsonl
+        for row in rows:
+            print(json.dumps(row, sort_keys=True, default=repr))
+    return 0
+
+
+def cmd_db_export(args: argparse.Namespace) -> int:
+    with _open_results_db(args.database) as db:
+        text = db.export(args.table, fmt=args.format)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{args.table} exported to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_db_gc(args: argparse.Namespace) -> int:
+    with _open_results_db(args.database) as db:
+        removed = db.gc(keep_runs=args.keep_runs)
+        remaining = len(db.runs())
+    print(f"removed {removed} run(s), {remaining} kept")
     return 0
 
 
@@ -458,9 +592,17 @@ def _writable_cache_dir(text: str) -> str:
     return text
 
 
-def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
-    """The shared sweep-execution flags (serial, uncached by default)."""
-    subparser.add_argument(
+def _execution_parent() -> argparse.ArgumentParser:
+    """Parent parser with the universal execution flags.
+
+    Declared once and attached to every command via ``parents=`` so
+    ``--workers``, ``--cache-dir`` and ``--db`` read identically
+    everywhere (they map onto
+    :class:`repro.experiments.common.ExperimentOptions`).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
         "--workers",
         type=_positive_int,
         default=1,
@@ -468,7 +610,7 @@ def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
         help="worker processes for the sweep (default: 1, serial; "
         "results are identical for any worker count)",
     )
-    subparser.add_argument(
+    group.add_argument(
         "--cache-dir",
         type=_writable_cache_dir,
         default=None,
@@ -477,13 +619,25 @@ def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
         "on rerun (default: no cache); the directory is created and "
         "checked for writability up front",
     )
+    group.add_argument(
+        "--db",
+        default=None,
+        metavar="FILE",
+        help="record every completed task — result, full config "
+        "provenance, per-round metrics — in this SQLite results "
+        "database (repro.service.ResultsDB; created on first use, "
+        "query later with 'repro db query')",
+    )
+    return parent
 
 
-def _add_backend_argument(subparser: argparse.ArgumentParser) -> None:
-    """The engine-backend selector (see docs/performance.md)."""
+def _backend_parent() -> argparse.ArgumentParser:
+    """Parent parser with the engine-backend selector
+    (see docs/performance.md)."""
     from repro.noc.backends import KNOWN_BACKENDS
 
-    subparser.add_argument(
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--backend",
         choices=KNOWN_BACKENDS,
         default="object",
@@ -491,17 +645,21 @@ def _add_backend_argument(subparser: argparse.ArgumentParser) -> None:
         "structure-of-arrays engine; bit-identical results, ~10x round "
         "throughput)",
     )
+    return parent
 
 
-def _add_metrics_out_argument(subparser: argparse.ArgumentParser) -> None:
-    """The per-round metrics export flag (see docs/observability.md)."""
-    subparser.add_argument(
+def _metrics_out_parent() -> argparse.ArgumentParser:
+    """Parent parser with the per-round metrics export flag
+    (see docs/observability.md)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--metrics-out",
         default=None,
         metavar="FILE",
         help="collect per-round metrics (repro.metrics) during the sweep "
         "and write them to FILE as JSON (default: metrics off)",
     )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -511,11 +669,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    execution = _execution_parent()
+    backend = _backend_parent()
+    metrics_out = _metrics_out_parent()
+
     info = subparsers.add_parser("info", help="version and package map")
     info.set_defaults(handler=cmd_info)
 
     spread = subparsers.add_parser(
-        "spread", help="broadcast saturation on a topology"
+        "spread",
+        help="broadcast saturation on a topology",
+        parents=[execution, backend, metrics_out],
     )
     spread.add_argument(
         "--topology", choices=("mesh", "torus", "complete"), default="mesh"
@@ -524,13 +688,12 @@ def build_parser() -> argparse.ArgumentParser:
     spread.add_argument("--p", type=float, default=0.5)
     spread.add_argument("--repetitions", type=int, default=5)
     spread.add_argument("--seed", type=int, default=0)
-    _add_backend_argument(spread)
-    _add_runner_arguments(spread)
-    _add_metrics_out_argument(spread)
     spread.set_defaults(handler=cmd_spread)
 
     probe = subparsers.add_parser(
-        "probe", help="unicast delivery probability / latency / min TTL"
+        "probe",
+        help="unicast delivery probability / latency / min TTL",
+        parents=[execution],
     )
     probe.add_argument(
         "--topology", choices=("mesh", "torus", "complete"), default="mesh"
@@ -554,7 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
     probe.set_defaults(handler=cmd_probe)
 
     mp3 = subparsers.add_parser(
-        "mp3", help="run the Fig 4-7 parallel encoder under faults"
+        "mp3",
+        help="run the Fig 4-7 parallel encoder under faults",
+        parents=[execution, backend],
     )
     mp3.add_argument("--frames", type=int, default=6)
     mp3.add_argument("--granule", type=int, default=288)
@@ -568,16 +733,17 @@ def build_parser() -> argparse.ArgumentParser:
     mp3.set_defaults(handler=cmd_mp3)
 
     figure = subparsers.add_parser(
-        "figure", help="regenerate one thesis figure's data"
+        "figure",
+        help="regenerate one thesis figure's data",
+        parents=[execution, backend, metrics_out],
     )
     figure.add_argument("name", choices=FIGURES)
-    _add_runner_arguments(figure)
-    _add_metrics_out_argument(figure)
     figure.set_defaults(handler=cmd_figure)
 
     profile = subparsers.add_parser(
         "profile",
         help="time the engine's per-round phases on a broadcast workload",
+        parents=[execution, backend],
     )
     profile.add_argument(
         "--topology", choices=("mesh", "torus", "complete"), default="mesh"
@@ -590,12 +756,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--upset", type=float, default=0.0)
     profile.add_argument("--overflow", type=float, default=0.0)
     profile.add_argument("--sigma", type=float, default=0.0)
-    _add_backend_argument(profile)
     profile.set_defaults(handler=cmd_profile)
 
     chaos = subparsers.add_parser(
         "chaos",
         help="dynamic-fault degradation report (repro.faults.scenarios)",
+        parents=[execution, backend, metrics_out],
     )
     chaos.add_argument(
         "--kinds",
@@ -623,9 +789,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="mean final coverage a cell must sustain to count as "
         "tolerated (default: 0.99)",
     )
-    _add_backend_argument(chaos)
-    _add_runner_arguments(chaos)
-    _add_metrics_out_argument(chaos)
     chaos.set_defaults(handler=cmd_chaos)
 
     policies = subparsers.add_parser(
@@ -642,14 +805,70 @@ def build_parser() -> argparse.ArgumentParser:
         "compare",
         help="run the four-policy fault sweep (upsets, overflows, "
         "link crashes) and print the comparison table",
+        parents=[execution, backend],
     )
     compare.add_argument("--side", type=_positive_int, default=4)
     compare.add_argument("--repetitions", type=_positive_int, default=5)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--max-rounds", type=_positive_int, default=48)
-    _add_backend_argument(compare)
-    _add_runner_arguments(compare)
     compare.set_defaults(handler=cmd_policies_compare)
+
+    db = subparsers.add_parser(
+        "db",
+        help="inspect a results database (repro.service.ResultsDB)",
+    )
+    db_actions = db.add_subparsers(dest="action", required=True)
+
+    db_query = db_actions.add_parser(
+        "query",
+        help="run a read-only SQL statement and print the rows",
+    )
+    db_query.add_argument("database", help="path to the results database")
+    db_query.add_argument(
+        "sql", help="a SELECT/WITH/VALUES/PRAGMA/EXPLAIN statement"
+    )
+    db_query.add_argument(
+        "--format",
+        choices=("jsonl", "json", "csv"),
+        default="jsonl",
+        help="row output format (default: one JSON object per line)",
+    )
+    db_query.set_defaults(handler=cmd_db_query)
+
+    db_export = db_actions.add_parser(
+        "export",
+        help="dump one table as JSON lines or CSV (blobs elided)",
+    )
+    db_export.add_argument("database", help="path to the results database")
+    db_export.add_argument(
+        "--table",
+        choices=("runs", "configs", "tasks", "round_metrics",
+                 "scenario_drops"),
+        default="tasks",
+    )
+    db_export.add_argument("--format", choices=("json", "csv"),
+                           default="json")
+    db_export.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    db_export.set_defaults(handler=cmd_db_export)
+
+    db_gc = db_actions.add_parser(
+        "gc",
+        help="prune old campaigns (and their tasks/metrics), then VACUUM",
+    )
+    db_gc.add_argument("database", help="path to the results database")
+    db_gc.add_argument(
+        "--keep-runs",
+        type=int,
+        required=True,
+        metavar="N",
+        help="keep only the N most recent runs",
+    )
+    db_gc.set_defaults(handler=cmd_db_gc)
 
     return parser
 

@@ -11,6 +11,7 @@ should reproduce in shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.apps.base import run_on_noc
 from repro.apps.beamforming import BeamformingApp
@@ -18,7 +19,10 @@ from repro.core.protocol import StochasticProtocol
 from repro.diversity.architectures import Architecture, ArchitectureSpec
 from repro.faults import FaultConfig
 from repro.noc.engine import NocSimulator
-from repro.runners import SimTask, SweepRunner
+from repro.runners import SimTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.common import ExperimentOptions
 
 
 @dataclass(frozen=True)
@@ -103,6 +107,13 @@ def run_workload(
     )
 
 
+# Local sentinel: the experiments package (where UNSET lives) imports
+# this module back through fig5_3, so the shared sentinel cannot be
+# imported at definition time.  Sentinel-valued kwargs are simply not
+# forwarded, which resolve_options treats identically to its own UNSET.
+_UNSET: Any = object()
+
+
 def compare_architectures(
     architectures: list[Architecture],
     forward_probability: float = 0.5,
@@ -112,9 +123,10 @@ def compare_architectures(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 2000,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
+    n_workers: Any = _UNSET,
+    runner: Any = _UNSET,
+    cache_dir: Any = _UNSET,
+    options: "ExperimentOptions | None" = None,
 ) -> list[ArchitectureComparison]:
     """Run the same workload across architectures (Fig 5-3).
 
@@ -122,11 +134,21 @@ def compare_architectures(
     """
     # Deferred import: repro.experiments.common itself imports from the
     # diversity package via the experiment modules.
-    from repro.experiments.common import resolve_runner
+    from repro.experiments.common import resolve_options
 
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    legacy = {
+        name: value
+        for name, value in (
+            ("runner", runner),
+            ("n_workers", n_workers),
+            ("cache_dir", cache_dir),
+        )
+        if value is not _UNSET
+    }
+    opts = resolve_options(options, **legacy)
+    sweep = opts.make_runner()
     specs = [architecture.build() for architecture in architectures]
     outcomes = iter(
         sweep.run(

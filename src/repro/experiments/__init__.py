@@ -9,22 +9,23 @@ larger values to approach the thesis' settings.
 Execution convention
 --------------------
 
-Every sweep-running entry point accepts the same three trailing keyword
-arguments, all optional:
+Every sweep-running entry point accepts one trailing keyword argument::
 
-* ``n_workers`` (default 1): fan the Monte-Carlo repetitions over this
-  many processes via :class:`repro.runners.SweepRunner`.  Results are
-  bit-identical for any worker count — each repetition is a pure function
-  of its parameters and an explicit per-task seed, and outcomes are
-  consumed in submission order, never completion order.
-* ``runner``: a pre-built :class:`~repro.runners.SweepRunner` to share
-  across calls (its result cache and counters are then shared too).  When
-  given, ``n_workers`` and ``cache_dir`` are ignored.
-* ``cache_dir`` (default None): directory for the on-disk result cache.
-  ``None`` disables caching; with a cache, re-running an identical sweep
-  executes zero new simulations.
+    run(..., options=ExperimentOptions(n_workers=4, cache_dir="cache"))
 
-Harnesses embed their historical per-repetition seed formulas in the
+:class:`repro.experiments.common.ExperimentOptions` bundles every
+execution knob — ``n_workers`` (process fan-out; results are
+bit-identical for any worker count), ``runner`` (a pre-built, shared
+:class:`repro.runners.SweepRunner`), ``cache_dir`` (on-disk result
+memoization), ``db`` (a :class:`repro.service.ResultsDB` write-through
+record), and, on harnesses that support them, ``backend`` and
+``collect_metrics``.  The historical scalar keyword arguments
+(``n_workers=``, ``runner=``, ``cache_dir=``, ``collect_metrics=``,
+``backend=``) still work and mean exactly what they always did, but now
+emit ``DeprecationWarning`` (see ``docs/runners.md``).
+
+Options are pure execution plumbing: they never enter task cache keys,
+and harnesses embed their historical per-repetition seed formulas in the
 submitted tasks, so routed results match the original serial loops
 exactly — the reproduced numbers do not change.
 """

@@ -26,14 +26,17 @@ never alias in the cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.core.protocol import StochasticProtocol
 from repro.experiments.common import (
+    UNSET,
+    ExperimentOptions,
     backend_params,
     metrics_params,
-    resolve_runner,
+    resolve_options,
     split_metrics,
     summarize_metrics,
 )
@@ -42,7 +45,7 @@ from repro.faults import BurstUpsets, LinkFlap, RampOverflow, ScenarioSpec
 from repro.metrics import MetricsCollector, MetricsSummary, RunMetrics
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
-from repro.runners import SimTask, SweepRunner
+from repro.runners import SimTask
 
 #: Scenario axes a campaign can sweep: kind -> intensity -> spec.  The
 #: intensity axis matches the thesis' static tolerance knobs (p_upset /
@@ -209,11 +212,12 @@ def run(
     seed: int = 0,
     max_rounds: int = 96,
     coverage_target: float = 0.99,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
-    collect_metrics: bool = False,
-    backend: str = "object",
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    collect_metrics: Any = UNSET,
+    backend: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> ChaosReport:
     """Sweep the scenario grid and derive dynamic tolerance thresholds.
 
@@ -226,7 +230,18 @@ def run(
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     for kind in kinds:
         scenario_for(kind, 0.0)  # validate axes before paying for the sweep
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    opts = resolve_options(
+        options,
+        supports=("collect_metrics", "backend"),
+        runner=runner,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        collect_metrics=collect_metrics,
+        backend=backend,
+    )
+    collect_metrics = opts.collect_metrics
+    backend = opts.backend
+    sweep = opts.make_runner()
     cells = [(kind, level) for kind in kinds for level in levels]
     tasks = [
         SimTask.call(

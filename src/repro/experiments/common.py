@@ -1,19 +1,20 @@
 """Shared sweep plumbing for the experiment harnesses.
 
-Every ``experiments.*.run(...)`` accepts the same three execution
-keywords (see ``experiments/__init__.py`` for the full convention):
+Every ``experiments.*.run(...)`` accepts one execution keyword::
 
-* ``n_workers`` — process-pool size (default 1: serial, the historical
-  behavior);
-* ``cache_dir`` — on-disk memoization directory (default None: off);
-* ``runner`` — a pre-built :class:`repro.runners.SweepRunner` shared
-  across calls (overrides the other two), which lets a batch script pool
-  workers and cache across figures and lets tests inspect the runner's
-  counters.
+    run(..., options=ExperimentOptions(n_workers=4, cache_dir="cache"))
 
-:func:`resolve_runner` turns those three into the runner to use.
+:class:`ExperimentOptions` is the frozen bundle of every execution knob
+— how to run (``runner``/``n_workers``/``cache_dir``), which engine
+(``backend``), whether to instrument (``collect_metrics``), and where to
+record provenance (``db``, a :class:`repro.service.ResultsDB` or a path
+to one).  It replaces the scalar kwargs that had accreted across the
+12+ harnesses; those scalars still work through a shim that emits
+``DeprecationWarning`` (see :func:`resolve_options`), and the cache keys
+of the submitted tasks are unchanged either way — the options object is
+pure execution plumbing, never hashed into a task.
 
-Instrumented sweeps additionally accept ``collect_metrics`` (see
+Instrumented sweeps (``collect_metrics=True``, see
 ``docs/observability.md``): task functions grow an optional
 ``collect_metrics`` parameter and, when it is set, append a
 :class:`repro.metrics.RunMetrics` to their result tuple.  Because the
@@ -25,10 +26,184 @@ plumbing for unpacking and reducing those results.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.metrics import MetricsSummary, RunMetrics, aggregate_metrics
 from repro.runners import SweepRunner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.db import ResultsDB
+
+
+class _Unset:
+    """Sentinel distinguishing 'kwarg not passed' from any real value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+
+#: Default of every deprecated scalar execution kwarg: passing anything
+#: else routes through the :func:`resolve_options` shim (and warns).
+UNSET: Any = _Unset()
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """Every execution knob of an experiment harness, in one object.
+
+    Attributes:
+        runner: a pre-built :class:`~repro.runners.SweepRunner` shared
+            across calls (its cache, DB and counters are then shared
+            too).  When set, ``n_workers`` and ``cache_dir`` are ignored.
+        n_workers: process-pool size (default 1: serial, the historical
+            behavior).  Results are bit-identical for any worker count.
+        cache_dir: on-disk memoization directory (default None: off).
+        backend: engine backend for harnesses that support it
+            (``"fast"`` for the vectorised engine; results are
+            bit-identical, only wall-clock changes).
+        collect_metrics: record per-round :class:`repro.metrics`
+            time series on harnesses that support it.  Participates in
+            task cache keys exactly as the old scalar kwarg did.
+        db: write-through results/provenance store — a
+            :class:`repro.service.ResultsDB` or a path to one.  Every
+            completed task is recorded there while the pickle cache
+            stays the hot read path (see ``docs/service.md``).
+
+    The object is frozen: share it freely across harness calls.  It is
+    never hashed into a task, so two sweeps differing only in options
+    plumbing (worker count, cache location, DB) share cache entries —
+    while ``backend``/``collect_metrics``, which *do* change the task
+    parameters, keep their historical key behavior.
+    """
+
+    runner: SweepRunner | None = None
+    n_workers: int = 1
+    cache_dir: str | None = None
+    backend: str = "object"
+    collect_metrics: bool = False
+    db: "ResultsDB | str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.runner is not None and not isinstance(
+            self.runner, SweepRunner
+        ):
+            raise TypeError(
+                f"runner must be a SweepRunner or None, got "
+                f"{type(self.runner).__name__}"
+            )
+        if self.n_workers < 1:
+            raise ValueError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        from repro.noc.backends import KNOWN_BACKENDS
+
+        if self.backend not in KNOWN_BACKENDS:
+            known = ", ".join(repr(name) for name in KNOWN_BACKENDS)
+            raise ValueError(
+                f"backend must be one of {known}, got {self.backend!r}"
+            )
+
+    def make_runner(self) -> SweepRunner:
+        """The runner this sweep executes on.
+
+        Returns the pre-built ``runner`` when one is set (attaching the
+        ``db`` to it if the runner has none), else builds a fresh
+        :class:`SweepRunner` from the scalar knobs.
+        """
+        if self.runner is not None:
+            if self.db is not None and self.runner.db is None:
+                from repro.service.db import as_results_db
+
+                self.runner.db = as_results_db(self.db)
+            return self.runner
+        return SweepRunner(
+            n_workers=self.n_workers, cache_dir=self.cache_dir, db=self.db
+        )
+
+    def with_runner(self, runner: SweepRunner) -> "ExperimentOptions":
+        """A copy pinned to `runner` — for harnesses delegating to
+        sub-harnesses that must share one pool/cache/DB."""
+        return replace(self, runner=runner)
+
+
+#: The knobs every harness honors; ``backend``/``collect_metrics`` are
+#: opt-in per harness via ``resolve_options(..., supports=...)``.
+_UNIVERSAL_KNOBS = ("runner", "n_workers", "cache_dir", "db")
+
+
+def resolve_options(
+    options: ExperimentOptions | None = None,
+    *,
+    supports: tuple[str, ...] = (),
+    runner: Any = UNSET,
+    n_workers: Any = UNSET,
+    cache_dir: Any = UNSET,
+    collect_metrics: Any = UNSET,
+    backend: Any = UNSET,
+) -> ExperimentOptions:
+    """Merge a harness's execution arguments into one `ExperimentOptions`.
+
+    The deprecation shim of the options API: harnesses forward their
+    legacy scalar kwargs (defaulting to :data:`UNSET`) plus the new
+    ``options=`` object.  Passing any scalar emits a
+    ``DeprecationWarning`` and builds the equivalent options object —
+    same semantics, same cache keys; mixing scalars with ``options=`` is
+    a ``TypeError`` (ambiguous precedence).
+
+    Args:
+        options: the new-style options object, or None.
+        supports: which of the result-affecting knobs
+            (``"collect_metrics"``, ``"backend"``) this harness honors;
+            a non-default value for an unsupported knob raises
+            ``ValueError`` instead of being silently ignored.
+        runner / n_workers / cache_dir / collect_metrics / backend: the
+            harness's legacy scalar kwargs, verbatim.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("runner", runner),
+            ("n_workers", n_workers),
+            ("cache_dir", cache_dir),
+            ("collect_metrics", collect_metrics),
+            ("backend", backend),
+        )
+        if value is not UNSET
+    }
+    if legacy:
+        if options is not None:
+            raise TypeError(
+                "pass execution settings either as "
+                "options=ExperimentOptions(...) or as the deprecated "
+                f"scalar kwargs, not both (got options= and "
+                f"{sorted(legacy)})"
+            )
+        warnings.warn(
+            f"the scalar execution kwargs ({', '.join(sorted(legacy))}) "
+            "are deprecated; pass "
+            "options=ExperimentOptions(...) instead (repro.experiments."
+            "common.ExperimentOptions) — semantics and cache keys are "
+            "unchanged",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        options = ExperimentOptions(**legacy)
+    elif options is None:
+        options = ExperimentOptions()
+    defaults = ExperimentOptions()
+    for knob in ("collect_metrics", "backend"):
+        if knob in supports or knob in _UNIVERSAL_KNOBS:
+            continue
+        if getattr(options, knob) != getattr(defaults, knob):
+            raise ValueError(
+                f"this harness does not support {knob}= (it has no "
+                f"instrumented/vectorised path); leave it at its default"
+            )
+    return options
 
 
 def resolve_runner(
@@ -36,7 +211,11 @@ def resolve_runner(
     n_workers: int = 1,
     cache_dir: str | None = None,
 ) -> SweepRunner:
-    """Return `runner` if given, else build one from the scalar knobs."""
+    """Return `runner` if given, else build one from the scalar knobs.
+
+    The pre-options helper, kept for compatibility; new code should go
+    through :func:`resolve_options` / :meth:`ExperimentOptions.make_runner`.
+    """
     if runner is not None:
         return runner
     return SweepRunner(n_workers=n_workers, cache_dir=cache_dir)

@@ -11,17 +11,22 @@ variance (jitter) grows; synchronization errors never prevent completion.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.apps.base import run_on_noc
 from repro.core.protocol import StochasticProtocol
-from repro.experiments.common import resolve_runner
+from repro.experiments.common import (
+    UNSET,
+    ExperimentOptions,
+    resolve_options,
+)
 from repro.faults import FaultConfig
 from repro.mp3.parallel import ParallelMp3App
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
-from repro.runners import SimTask, SweepRunner
+from repro.runners import SimTask
 
 
 @dataclass(frozen=True)
@@ -85,11 +90,9 @@ def _sweep_axis(
     repetitions: int,
     seed: int,
     max_rounds: int,
-    n_workers: int,
-    runner: SweepRunner | None,
-    cache_dir: str | None,
+    opts: ExperimentOptions,
 ) -> list[FailureImpactPoint]:
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    sweep = opts.make_runner()
     outcomes = iter(
         sweep.run(
             SimTask.call(
@@ -118,11 +121,15 @@ def run_overflow(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 1500,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> list[FailureImpactPoint]:
     """The left panel: latency vs buffer-overflow drop probability."""
+    opts = resolve_options(
+        options, runner=runner, n_workers=n_workers, cache_dir=cache_dir
+    )
     return _sweep_axis(
         "overflow",
         [(level, FaultConfig(p_overflow=level)) for level in levels],
@@ -131,9 +138,7 @@ def run_overflow(
         repetitions,
         seed,
         max_rounds,
-        n_workers,
-        runner,
-        cache_dir,
+        opts,
     )
 
 
@@ -144,11 +149,15 @@ def run_synchronization(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 1500,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> list[FailureImpactPoint]:
     """The right panel: latency vs sigma_synchr (jitter, not failure)."""
+    opts = resolve_options(
+        options, runner=runner, n_workers=n_workers, cache_dir=cache_dir
+    )
     return _sweep_axis(
         "synchronization",
         [(level, FaultConfig(sigma_synchr=level)) for level in levels],
@@ -157,7 +166,5 @@ def run_synchronization(
         repetitions,
         seed,
         max_rounds,
-        n_workers,
-        runner,
-        cache_dir,
+        opts,
     )

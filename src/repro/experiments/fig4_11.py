@@ -10,18 +10,23 @@ version also reports reconstruction SNR via the decoder, quantifying the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.apps.base import run_on_noc
 from repro.core.protocol import StochasticProtocol
-from repro.experiments.common import resolve_runner
+from repro.experiments.common import (
+    UNSET,
+    ExperimentOptions,
+    resolve_options,
+)
 from repro.faults import FaultConfig
 from repro.mp3.decoder import Mp3Decoder, reconstruction_snr_db
 from repro.mp3.parallel import ParallelMp3App
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
-from repro.runners import SimTask, SweepRunner
+from repro.runners import SimTask
 
 
 @dataclass(frozen=True)
@@ -89,11 +94,9 @@ def _sweep_axis(
     repetitions: int,
     seed: int,
     max_rounds: int,
-    n_workers: int,
-    runner: SweepRunner | None,
-    cache_dir: str | None,
+    opts: ExperimentOptions,
 ) -> list[BitratePoint]:
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    sweep = opts.make_runner()
     outcomes = iter(
         sweep.run(
             SimTask.call(
@@ -122,11 +125,15 @@ def run_overflow(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 1500,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> list[BitratePoint]:
     """Bit-rate vs overflow drop probability (left panel)."""
+    opts = resolve_options(
+        options, runner=runner, n_workers=n_workers, cache_dir=cache_dir
+    )
     return _sweep_axis(
         "overflow",
         [(level, FaultConfig(p_overflow=level)) for level in levels],
@@ -135,9 +142,7 @@ def run_overflow(
         repetitions,
         seed,
         max_rounds,
-        n_workers,
-        runner,
-        cache_dir,
+        opts,
     )
 
 
@@ -148,11 +153,15 @@ def run_synchronization(
     repetitions: int = 3,
     seed: int = 0,
     max_rounds: int = 1500,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> list[BitratePoint]:
     """Bit-rate vs sigma_synchr (right panel)."""
+    opts = resolve_options(
+        options, runner=runner, n_workers=n_workers, cache_dir=cache_dir
+    )
     return _sweep_axis(
         "synchronization",
         [(level, FaultConfig(sigma_synchr=level)) for level in levels],
@@ -161,7 +170,5 @@ def run_synchronization(
         repetitions,
         seed,
         max_rounds,
-        n_workers,
-        runner,
-        cache_dir,
+        opts,
     )

@@ -11,6 +11,7 @@ optimum.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -18,8 +19,10 @@ from repro.apps.fft2d import Fft2dApp
 from repro.apps.master_slave import MasterSlavePiApp
 from repro.core.protocol import StochasticProtocol
 from repro.experiments.common import (
+    UNSET,
+    ExperimentOptions,
     metrics_params,
-    resolve_runner,
+    resolve_options,
     split_metrics,
     summarize_metrics,
 )
@@ -27,7 +30,7 @@ from repro.faults import FaultConfig, FaultInjector
 from repro.metrics import MetricsCollector, MetricsSummary
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
-from repro.runners import SimTask, SweepRunner
+from repro.runners import SimTask
 
 #: The thesis' four protocol variants.
 PROBABILITIES = (1.0, 0.75, 0.50, 0.25)
@@ -134,16 +137,18 @@ def run(
     repetitions: int = 5,
     seed: int = 0,
     max_rounds: int = 400,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
-    collect_metrics: bool = False,
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    collect_metrics: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> list[CrashSweepPoint]:
     """Sweep (p x crash count) for one application.
 
-    With ``collect_metrics=True`` every repetition records a per-round
-    :class:`repro.metrics.RunMetrics` and each sweep point carries the
-    cell's aggregated mean/CI summary in its ``metrics`` field.
+    With ``options=ExperimentOptions(collect_metrics=True)`` every
+    repetition records a per-round :class:`repro.metrics.RunMetrics` and
+    each sweep point carries the cell's aggregated mean/CI summary in
+    its ``metrics`` field.
     """
     if application not in _RUNNERS:
         raise ValueError(
@@ -151,7 +156,16 @@ def run(
             f"{sorted(_RUNNERS)}"
         )
     run_one = _RUNNERS[application]
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    opts = resolve_options(
+        options,
+        supports=("collect_metrics",),
+        runner=runner,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        collect_metrics=collect_metrics,
+    )
+    collect_metrics = opts.collect_metrics
+    sweep = opts.make_runner()
     cells = [
         (p, n_dead) for p in probabilities for n_dead in dead_tile_counts
     ]

@@ -10,6 +10,8 @@ least efficient.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.diversity.architectures import (
     BusConnectedNocs,
     CentralRouter,
@@ -17,7 +19,11 @@ from repro.diversity.architectures import (
     HierarchicalNoc,
 )
 from repro.diversity.compare import ArchitectureComparison, compare_architectures
-from repro.runners import SweepRunner
+from repro.experiments.common import (
+    UNSET,
+    ExperimentOptions,
+    resolve_options,
+)
 
 
 def run(
@@ -29,15 +35,19 @@ def run(
     include_central_router: bool = False,
     seed: int = 0,
     max_rounds: int = 4000,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> list[ArchitectureComparison]:
     """Run the Fig 5-3 comparison.
 
     The flat mesh is sized to match the clustered architectures' tile
     count (2 x cluster_side per side = 4 clusters' worth of tiles).
     """
+    opts = resolve_options(
+        options, runner=runner, n_workers=n_workers, cache_dir=cache_dir
+    )
     architectures = [
         FlatNoc(2 * cluster_side),
         HierarchicalNoc(cluster_side),
@@ -53,7 +63,5 @@ def run(
         repetitions=repetitions,
         seed=seed,
         max_rounds=max_rounds,
-        n_workers=n_workers,
-        runner=runner,
-        cache_dir=cache_dir,
+        options=opts,
     )

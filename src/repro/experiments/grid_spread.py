@@ -11,15 +11,18 @@ how much the grid's constrained connectivity costs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.core.packet import BROADCAST
 from repro.core.protocol import StochasticProtocol
 from repro.experiments.common import (
+    UNSET,
+    ExperimentOptions,
     backend_params,
     metrics_params,
-    resolve_runner,
+    resolve_options,
     split_metrics,
     summarize_metrics,
 )
@@ -27,7 +30,7 @@ from repro.metrics import MetricsCollector, MetricsSummary, RunMetrics
 from repro.noc.engine import NocSimulator
 from repro.noc.tile import IPCore, TileContext
 from repro.noc.topology import FullyConnected, Mesh2D, Topology, Torus2D
-from repro.runners import SimTask, SweepRunner
+from repro.runners import SimTask
 
 
 class _BroadcastSeed(IPCore):
@@ -122,11 +125,12 @@ def measure_spread(
     seed: int = 0,
     max_rounds: int = 200,
     name: str | None = None,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
-    collect_metrics: bool = False,
-    backend: str = "object",
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    collect_metrics: Any = UNSET,
+    backend: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> SpreadMeasurement:
     """Broadcast from `origin` and measure rounds to full saturation.
 
@@ -139,7 +143,18 @@ def measure_spread(
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    opts = resolve_options(
+        options,
+        supports=("collect_metrics", "backend"),
+        runner=runner,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        collect_metrics=collect_metrics,
+        backend=backend,
+    )
+    collect_metrics = opts.collect_metrics
+    backend = opts.backend
+    sweep = opts.make_runner()
     label = name or repr(topology)
     outcomes = sweep.run(
         SimTask.call(
@@ -190,15 +205,25 @@ def run(
     forward_probability: float = 0.5,
     repetitions: int = 5,
     seed: int = 0,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
-    collect_metrics: bool = False,
-    backend: str = "object",
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    collect_metrics: Any = UNSET,
+    backend: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> list[SpreadMeasurement]:
     """Compare mesh / torus / complete-graph saturation at n = side^2."""
     n = side * side
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    opts = resolve_options(
+        options,
+        supports=("collect_metrics", "backend"),
+        runner=runner,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        collect_metrics=collect_metrics,
+        backend=backend,
+    )
+    shared = opts.with_runner(opts.make_runner())
     return [
         measure_spread(
             topology,
@@ -206,9 +231,7 @@ def run(
             repetitions=repetitions,
             seed=seed,
             name=name,
-            runner=sweep,
-            collect_metrics=collect_metrics,
-            backend=backend,
+            options=shared,
         )
         for topology, name in (
             (FullyConnected(n), "fully connected"),

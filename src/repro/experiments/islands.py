@@ -14,14 +14,19 @@ trade: communication energy down, latency up.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.apps.master_slave import MasterSlavePiApp
 from repro.core.protocol import StochasticProtocol
 from repro.diversity.islands import Island, IslandPlan
-from repro.experiments.common import resolve_runner
+from repro.experiments.common import (
+    UNSET,
+    ExperimentOptions,
+    resolve_options,
+)
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
-from repro.runners import SimTask, SweepRunner
+from repro.runners import SimTask
 
 
 @dataclass(frozen=True)
@@ -101,14 +106,18 @@ def run(
     n_terms: int = 400,
     seed: int = 0,
     max_rounds: int = 500,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> IslandComparison:
     """Measure the energy/latency trade of one island partition."""
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    opts = resolve_options(
+        options, runner=runner, n_workers=n_workers, cache_dir=cache_dir
+    )
+    sweep = opts.make_runner()
     outcomes = sweep.run(
         SimTask.call(
             _run_island_rep,
@@ -139,13 +148,22 @@ def run_voltage_sweep(
     voltages: tuple[float, ...] = (1.0, 0.8, 0.6, 0.5),
     repetitions: int = 3,
     seed: int = 0,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> list[IslandComparison]:
     """The island design space: deeper undervolting saves more, costs more."""
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    opts = resolve_options(
+        options, runner=runner, n_workers=n_workers, cache_dir=cache_dir
+    )
+    shared = opts.with_runner(opts.make_runner())
     return [
-        run(island_voltage=v, repetitions=repetitions, seed=seed, runner=sweep)
+        run(
+            island_voltage=v,
+            repetitions=repetitions,
+            seed=seed,
+            options=shared,
+        )
         for v in voltages
     ]

@@ -19,16 +19,22 @@ the comparison is paired, not just averaged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
-from repro.experiments.common import backend_params, resolve_runner
+from repro.experiments.common import (
+    UNSET,
+    ExperimentOptions,
+    backend_params,
+    resolve_options,
+)
 from repro.experiments.grid_spread import _BroadcastSeed
 from repro.faults import CrashPlan, FaultConfig
 from repro.noc.engine import NocSimulator
 from repro.noc.topology import Mesh2D
 from repro.policies import PolicySpec
-from repro.runners import SimTask, SweepRunner
+from repro.runners import SimTask
 
 #: The four stock policies, by spec (order = presentation order).
 DEFAULT_POLICIES: tuple[PolicySpec, ...] = (
@@ -148,10 +154,11 @@ def run(
     repetitions: int = 5,
     seed: int = 0,
     max_rounds: int = 48,
-    n_workers: int = 1,
-    runner: SweepRunner | None = None,
-    cache_dir: str | None = None,
-    backend: str = "object",
+    n_workers: Any = UNSET,
+    runner: Any = UNSET,
+    cache_dir: Any = UNSET,
+    backend: Any = UNSET,
+    options: ExperimentOptions | None = None,
 ) -> list[PolicyPoint]:
     """Sweep every policy against every fault axis (one flat task batch).
 
@@ -163,7 +170,16 @@ def run(
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    sweep = resolve_runner(runner, n_workers, cache_dir)
+    opts = resolve_options(
+        options,
+        supports=("backend",),
+        runner=runner,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+        backend=backend,
+    )
+    backend = opts.backend
+    sweep = opts.make_runner()
 
     cells: list[tuple[PolicySpec, str, float, dict]] = []
     for level in upset_rates:

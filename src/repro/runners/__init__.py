@@ -26,6 +26,7 @@ from repro.runners.runner import (
     RetryExhaustedError,
     SimTask,
     SweepRunner,
+    TaskCompletion,
     spawn_seeds,
 )
 
@@ -35,6 +36,7 @@ __all__ = [
     "RetryExhaustedError",
     "SimTask",
     "SweepRunner",
+    "TaskCompletion",
     "canonical",
     "digest",
     "spawn_seeds",

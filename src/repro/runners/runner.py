@@ -24,7 +24,15 @@ forward probabilities — whose individual simulations are independent.
   failure surfaces as :class:`RetryExhaustedError` naming the task.
   Results are **checkpointed incrementally**: each completed cell is
   written to the cache the moment it finishes, so an interrupted
-  campaign resumes without rerunning finished work.
+  campaign resumes without rerunning finished work;
+* **recorded** — with a ``db`` (a :class:`repro.service.ResultsDB` or a
+  path to one), every completed task — executed or served from cache —
+  is written through to the SQLite results/provenance store under the
+  same content hash the pickle cache uses, and every :meth:`run` call
+  opens/closes a campaign row.  The pickle cache stays the hot read
+  path; the database is the durable, SQL-queryable record (see
+  ``docs/service.md``).  Per-task completion callbacks (``on_result``)
+  let a service layer stream results as they land.
 
 Task functions must be module-level (importable by qualified name, so
 workers can unpickle them) and pure given their parameters and seed: no
@@ -39,7 +47,10 @@ import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.service.db import ResultsDB
 
 import numpy as np
 
@@ -173,6 +184,29 @@ def _execute_task(task: SimTask) -> Any:
     return task.execute()
 
 
+@dataclass(frozen=True)
+class TaskCompletion:
+    """One finished sweep cell, as delivered to ``on_result`` callbacks.
+
+    Attributes:
+        index: the task's position in the submitted batch (results keep
+            this order; completions may arrive in any order).
+        task: the completed :class:`SimTask`, seed filled in.
+        value: its result.
+        source: ``"executed"`` (a simulation ran) or ``"cache"`` (served
+            from the on-disk pickle cache).
+        duration_s: wall-clock of the successful attempt — measured
+            around the call on the serial path, submit-to-completion on
+            the pool path; ``None`` for cache hits.
+    """
+
+    index: int
+    task: SimTask
+    value: Any
+    source: str
+    duration_s: float | None = None
+
+
 def spawn_seeds(base_seed: int | None, n: int) -> list[int]:
     """Derive `n` independent task seeds from one base seed.
 
@@ -214,6 +248,15 @@ class SweepRunner:
             is resubmitted (the stuck worker is abandoned to finish or
             die on its own).  ``None`` disables timeouts.  The serial
             path cannot preempt a running task and ignores this knob.
+        retry_seed: seed of the dedicated RNG behind the backoff jitter.
+            Defaults to ``base_seed``, so a seeded sweep's retry timing
+            is reproducible; it never touches the module-global
+            :mod:`random` state (and simulation results never depend on
+            it either way).
+        db: write-through results/provenance store — a
+            :class:`repro.service.ResultsDB` or a path to open one.
+            ``None`` (the default) records nothing.
+        run_label: default campaign label for :meth:`run`'s DB rows.
 
     Attributes:
         tasks_submitted: total tasks handed to :meth:`run`.
@@ -233,6 +276,9 @@ class SweepRunner:
         retry_backoff_s: float = 0.5,
         retry_jitter: float = 0.25,
         task_timeout_s: float | None = None,
+        retry_seed: int | None = None,
+        db: "ResultsDB | str | None" = None,
+        run_label: str = "",
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -255,6 +301,18 @@ class SweepRunner:
         self.retry_backoff_s = retry_backoff_s
         self.retry_jitter = retry_jitter
         self.task_timeout_s = task_timeout_s
+        # Jitter draws come from a dedicated, seedable stream: retry
+        # timing is reproducible for seeded sweeps and never perturbs
+        # (or is perturbed by) the module-global `random` state.
+        self._retry_rng = random.Random(
+            retry_seed if retry_seed is not None else base_seed
+        )
+        if db is not None and not hasattr(db, "record_task"):
+            from repro.service.db import as_results_db
+
+            db = as_results_db(db)
+        self.db = db
+        self.run_label = run_label
         self.tasks_submitted = 0
         self.tasks_executed = 0
         self.cache_hits = 0
@@ -262,7 +320,15 @@ class SweepRunner:
 
     # ------------------------------------------------------------------ api
 
-    def run(self, tasks: Iterable[SimTask]) -> list[Any]:
+    def run(
+        self,
+        tasks: Iterable[SimTask],
+        *,
+        run_label: str | None = None,
+        on_result: Callable[[TaskCompletion], None] | None = None,
+        run_id: int | None = None,
+        index_base: int = 0,
+    ) -> list[Any]:
         """Execute `tasks`, returning results in task order.
 
         Cached results are loaded without executing anything; the rest
@@ -271,32 +337,89 @@ class SweepRunner:
         is cached the moment its task completes, so an aborted run
         checkpoints every finished cell.
 
+        Args:
+            tasks: the batch to execute.
+            run_label: label for this batch's campaign row when a ``db``
+                is attached (defaults to the runner's ``run_label``).
+            on_result: called in the coordinating process with a
+                :class:`TaskCompletion` for every finished task — cache
+                hits first (in batch order), then executions in
+                completion order.  Exceptions propagate and abort the
+                sweep.
+            run_id: record into this existing campaign row instead of
+                opening (and closing) one — for callers like
+                :class:`repro.service.JobQueue` that execute one logical
+                campaign as several ``run()`` calls.  The caller owns
+                the row's lifecycle (``begin_run``/``finish_run``).
+            index_base: offset added to the recorded ``task_index`` of
+                every task when appending into an existing `run_id`.
+
         Raises:
             RetryExhaustedError: a task failed ``max_attempts`` times.
         """
         ordered = self._assign_seeds(list(tasks))
         self.tasks_submitted += len(ordered)
         results: list[Any] = [None] * len(ordered)
-        pending: list[tuple[int, SimTask, str | None]] = []
-        for index, task in enumerate(ordered):
-            key = task.cache_key() if self.cache is not None else None
-            if key is not None:
-                hit, value = self.cache.lookup(key)
-                if hit:
-                    self.cache_hits += 1
-                    results[index] = value
-                    continue
-            pending.append((index, task, key))
 
-        if pending:
-            # A single pending task skips the pool — unless a timeout is
-            # set, which only the pool path can enforce (the serial path
-            # cannot preempt a running task).
-            one = len(pending) == 1 and self.task_timeout_s is None
-            if self.n_workers == 1 or one:
-                self._execute_serial(pending, results)
+        recording = self.db is not None
+        owns_run = recording and run_id is None
+        if owns_run:
+            run_id = self.db.begin_run(
+                label=self.run_label if run_label is None else run_label,
+                n_tasks=len(ordered),
+            )
+
+        def emit(completion: TaskCompletion, key: str | None) -> None:
+            """Checkpoint, record and deliver one finished task."""
+            if completion.source == "cache":
+                self.cache_hits += 1
             else:
-                self._execute_pooled(pending, results)
+                self.tasks_executed += 1
+                if key is not None and self.cache is not None:
+                    self.cache.put(key, completion.value)
+            results[completion.index] = completion.value
+            if recording:
+                self.db.record_task(
+                    run_id,
+                    index_base + completion.index,
+                    completion.task,
+                    completion.value,
+                    source=completion.source,
+                    duration_s=completion.duration_s,
+                )
+            if on_result is not None:
+                on_result(completion)
+
+        pending: list[tuple[int, SimTask, str | None]] = []
+        try:
+            for index, task in enumerate(ordered):
+                key = (
+                    task.cache_key()
+                    if self.cache is not None or recording
+                    else None
+                )
+                if self.cache is not None:
+                    hit, value = self.cache.lookup(key)
+                    if hit:
+                        emit(TaskCompletion(index, task, value, "cache"), key)
+                        continue
+                pending.append((index, task, key))
+
+            if pending:
+                # A single pending task skips the pool — unless a
+                # timeout is set, which only the pool path can enforce
+                # (the serial path cannot preempt a running task).
+                one = len(pending) == 1 and self.task_timeout_s is None
+                if self.n_workers == 1 or one:
+                    self._execute_serial(pending, emit)
+                else:
+                    self._execute_pooled(pending, emit)
+        except BaseException:
+            if owns_run:
+                self.db.finish_run(run_id, status="failed")
+            raise
+        if owns_run:
+            self.db.finish_run(run_id, status="completed")
         return results
 
     def map(
@@ -329,6 +452,17 @@ class SweepRunner:
             for params, seed in zip(sets, seed_list)
         )
 
+    def assign_seeds(self, tasks: Iterable[SimTask]) -> list[SimTask]:
+        """Fill in missing task seeds from ``base_seed``, by batch index.
+
+        Public for callers that split a campaign into several
+        :meth:`run` calls (the job queue executes cancellable chunks):
+        seeding the *whole* batch up front keeps every task's seed a
+        function of its position in the full campaign, so chunked and
+        single-call execution stay bit-identical.
+        """
+        return self._assign_seeds(list(tasks))
+
     # ------------------------------------------------------------- internals
 
     def _assign_seeds(self, tasks: list[SimTask]) -> list[SimTask]:
@@ -346,31 +480,29 @@ class SweepRunner:
             for i, task in enumerate(tasks)
         ]
 
-    def _record_success(
-        self, index: int, key: str | None, value: Any, results: list[Any]
-    ) -> None:
-        """Count, checkpoint and slot one completed task."""
-        self.tasks_executed += 1
-        if key is not None:
-            self.cache.put(key, value)
-        results[index] = value
-
     def _backoff_delay(self, attempt: int) -> float:
-        """Exponential backoff with uniform jitter for retry `attempt`."""
+        """Exponential backoff with uniform jitter for retry `attempt`.
+
+        Jitter draws come from the runner's dedicated ``retry_seed``
+        stream — never the module-global :mod:`random` — so retry timing
+        is reproducible for seeded sweeps (the historical global draw
+        made retrying runs under ``task_timeout_s`` time-dependent).
+        """
         delay = self.retry_backoff_s * (2 ** (attempt - 1))
         if self.retry_jitter:
-            delay *= 1.0 + self.retry_jitter * random.random()
+            delay *= 1.0 + self.retry_jitter * self._retry_rng.random()
         return delay
 
     def _execute_serial(
         self,
         pending: list[tuple[int, SimTask, str | None]],
-        results: list[Any],
+        emit: Callable[[TaskCompletion, str | None], None],
     ) -> None:
         """In-process execution with bounded retry/backoff per task."""
         for index, task, key in pending:
             last_error: BaseException | None = None
             for attempt in range(1, self.max_attempts + 1):
+                started = time.perf_counter()
                 try:
                     value = _execute_task(task)
                 except Exception as error:  # noqa: BLE001 - retried below
@@ -382,7 +514,16 @@ class SweepRunner:
                     self.tasks_retried += 1
                     time.sleep(self._backoff_delay(attempt))
                 else:
-                    self._record_success(index, key, value, results)
+                    emit(
+                        TaskCompletion(
+                            index,
+                            task,
+                            value,
+                            "executed",
+                            time.perf_counter() - started,
+                        ),
+                        key,
+                    )
                     break
             else:  # pragma: no cover - loop always breaks or raises
                 raise RetryExhaustedError(task, self.max_attempts, last_error)
@@ -390,7 +531,7 @@ class SweepRunner:
     def _execute_pooled(
         self,
         pending: list[tuple[int, SimTask, str | None]],
-        results: list[Any],
+        emit: Callable[[TaskCompletion, str | None], None],
     ) -> None:
         """Process-pool execution with retry, timeout and checkpointing.
 
@@ -406,33 +547,34 @@ class SweepRunner:
                 # would let one hung task starve its own retries.
                 workers = self.n_workers
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                self._drive_pool(pool, pending, results)
+                self._drive_pool(pool, pending, emit)
         except (OSError, PermissionError, ImportError) as error:
             warnings.warn(
                 f"process pool unavailable ({error}); running sweep serially",
                 RuntimeWarning,
                 stacklevel=4,
             )
-            self._execute_serial(pending, results)
+            self._execute_serial(pending, emit)
 
     def _drive_pool(
         self,
         pool: ProcessPoolExecutor,
         pending: list[tuple[int, SimTask, str | None]],
-        results: list[Any],
+        emit: Callable[[TaskCompletion, str | None], None],
     ) -> None:
         timeout = self.task_timeout_s
-        #: future -> (index, task, key, attempt, deadline)
-        inflight: dict[Any, tuple[int, SimTask, str | None, int, float | None]] = {}
+        #: future -> (index, task, key, attempt, deadline, submitted_at)
+        inflight: dict[
+            Any, tuple[int, SimTask, str | None, int, float | None, float]
+        ] = {}
 
         def submit(
             index: int, task: SimTask, key: str | None, attempt: int
         ) -> None:
             future = pool.submit(_execute_task, task)
-            deadline = (
-                time.monotonic() + timeout if timeout is not None else None
-            )
-            inflight[future] = (index, task, key, attempt, deadline)
+            now = time.monotonic()
+            deadline = now + timeout if timeout is not None else None
+            inflight[future] = (index, task, key, attempt, deadline, now)
 
         for index, task, key in pending:
             submit(index, task, key, attempt=1)
@@ -444,10 +586,19 @@ class SweepRunner:
             )
             now = time.monotonic()
             for future in done:
-                index, task, key, attempt, _ = inflight.pop(future)
+                index, task, key, attempt, _, submitted = inflight.pop(future)
                 error = future.exception()
                 if error is None:
-                    self._record_success(index, key, future.result(), results)
+                    emit(
+                        TaskCompletion(
+                            index,
+                            task,
+                            future.result(),
+                            "executed",
+                            now - submitted,
+                        ),
+                        key,
+                    )
                     continue
                 if isinstance(error, (OSError, PermissionError, ImportError)):
                     # Pool infrastructure trouble, not a task failure:
@@ -461,7 +612,7 @@ class SweepRunner:
             if timeout is None:
                 continue
             for future in list(inflight):
-                index, task, key, attempt, deadline = inflight[future]
+                index, task, key, attempt, deadline, _ = inflight[future]
                 if deadline is None or now < deadline or future in done:
                     continue
                 if future.running() or not future.cancel():

@@ -1,0 +1,30 @@
+"""Simulation-as-a-service: async job submission + durable results DB.
+
+This package is the service layer in front of the sweep machinery
+(:mod:`repro.runners`):
+
+* :class:`ResultsDB` (``repro.service.db``) — a SQLite (WAL) store of
+  completed tasks, their full :meth:`SimConfig.describe` provenance and
+  per-round metrics, written through by :class:`SweepRunner` while the
+  content-hashed pickle cache stays the hot read path.  Query it with
+  SQL via :meth:`ResultsDB.query` or ``repro db query``.
+* :class:`JobQueue` (``repro.service.jobs``) — an asyncio front-end
+  over one shared runner: ``submit``/``status``/``cancel``/``stream``
+  with priorities, per-task completion streaming and checkpoint-backed
+  resume.
+
+See ``docs/service.md`` for the schema, job lifecycle and SQL cookbook.
+"""
+
+from repro.service.db import ResultsDB, as_results_db
+from repro.service.jobs import JobQueue, JobState, JobStatus
+from repro.service.schema import SCHEMA_VERSION
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JobQueue",
+    "JobState",
+    "JobStatus",
+    "ResultsDB",
+    "as_results_db",
+]

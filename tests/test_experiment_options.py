@@ -1,0 +1,204 @@
+"""Tests for the unified ExperimentOptions execution API."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.experiments import fig3_1, grid_spread, link_crashes
+from repro.experiments.common import (
+    UNSET,
+    ExperimentOptions,
+    resolve_options,
+)
+from repro.runners import SweepRunner
+from repro.service import ResultsDB
+
+DEPRECATION_MATCH = r"scalar execution kwargs .* are deprecated"
+
+
+class TestExperimentOptions:
+    def test_defaults_match_the_legacy_scalars(self):
+        opts = ExperimentOptions()
+        assert opts.runner is None
+        assert opts.n_workers == 1
+        assert opts.cache_dir is None
+        assert opts.backend == "object"
+        assert opts.collect_metrics is False
+        assert opts.db is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ExperimentOptions(n_workers=0)
+        with pytest.raises(ValueError, match="backend"):
+            ExperimentOptions(backend="nope")
+        with pytest.raises(TypeError, match="runner"):
+            ExperimentOptions(runner=object())
+
+    def test_make_runner_builds_from_scalars(self, cache_dir):
+        opts = ExperimentOptions(n_workers=2, cache_dir=cache_dir)
+        runner = opts.make_runner()
+        assert runner.n_workers == 2
+        assert runner.cache is not None
+
+    def test_make_runner_prefers_prebuilt_runner(self):
+        prebuilt = SweepRunner(n_workers=1)
+        opts = ExperimentOptions(runner=prebuilt, n_workers=4)
+        assert opts.make_runner() is prebuilt
+
+    def test_make_runner_attaches_db_to_prebuilt_runner(self, tmp_path):
+        prebuilt = SweepRunner()
+        opts = ExperimentOptions(runner=prebuilt, db=tmp_path / "runs.db")
+        assert opts.make_runner() is prebuilt
+        assert isinstance(prebuilt.db, ResultsDB)
+
+    def test_with_runner_pins_only_the_runner(self, cache_dir):
+        opts = ExperimentOptions(cache_dir=cache_dir, n_workers=3)
+        runner = SweepRunner()
+        pinned = opts.with_runner(runner)
+        assert pinned.runner is runner
+        assert pinned.cache_dir == opts.cache_dir
+        assert pinned.n_workers == 3
+        assert opts.runner is None  # the original is untouched
+
+
+class TestResolveOptions:
+    def test_no_arguments_yields_defaults(self):
+        assert resolve_options(None) == ExperimentOptions()
+        assert resolve_options() == ExperimentOptions()
+
+    def test_options_pass_through_unwarned(self):
+        opts = ExperimentOptions(n_workers=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_options(opts) is opts
+
+    def test_legacy_scalars_warn_and_translate(self, cache_dir):
+        with pytest.warns(DeprecationWarning, match=DEPRECATION_MATCH):
+            opts = resolve_options(None, n_workers=2, cache_dir=cache_dir)
+        assert opts == ExperimentOptions(n_workers=2, cache_dir=cache_dir)
+
+    def test_mixing_options_and_scalars_is_a_type_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_options(ExperimentOptions(), n_workers=2)
+
+    def test_unsupported_knob_is_a_value_error(self):
+        with pytest.raises(ValueError, match="does not support"):
+            resolve_options(
+                ExperimentOptions(collect_metrics=True), supports=()
+            )
+        with pytest.raises(ValueError, match="does not support"):
+            resolve_options(
+                ExperimentOptions(backend="fast"), supports=()
+            )
+        # Declared support passes.
+        opts = ExperimentOptions(collect_metrics=True, backend="fast")
+        assert (
+            resolve_options(opts, supports=("collect_metrics", "backend"))
+            is opts
+        )
+
+    def test_unset_sentinel_reprs_cleanly(self):
+        assert repr(UNSET) == "<unset>"
+
+
+class TestHarnessBehavior:
+    def test_options_and_legacy_results_are_identical(self):
+        with pytest.warns(DeprecationWarning, match=DEPRECATION_MATCH):
+            legacy = fig3_1.run(n=64, repetitions=2, seed=3, n_workers=1)
+        new = fig3_1.run(
+            n=64, repetitions=2, seed=3, options=ExperimentOptions()
+        )
+        assert new == legacy
+
+    def test_cache_keys_are_unchanged_across_the_apis(self, cache_dir):
+        # Warm the cache through the legacy kwargs...
+        with pytest.warns(DeprecationWarning, match=DEPRECATION_MATCH):
+            legacy = fig3_1.run(
+                n=64, repetitions=3, seed=3, cache_dir=cache_dir
+            )
+        # ...then rerun via options=: every task must hit that cache.
+        runner = SweepRunner(cache_dir=cache_dir)
+        new = fig3_1.run(
+            n=64,
+            repetitions=3,
+            seed=3,
+            options=ExperimentOptions(runner=runner),
+        )
+        assert runner.tasks_executed == 0
+        assert runner.cache_hits == 3
+        assert new == legacy
+
+    def test_options_api_emits_no_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fig3_1.run(n=64, repetitions=2, options=ExperimentOptions())
+            link_crashes.run(
+                dead_link_counts=(0,),
+                repetitions=1,
+                n_terms=40,
+                options=ExperimentOptions(),
+            )
+
+    def test_harness_rejects_unsupported_result_knobs(self):
+        with pytest.raises(ValueError, match="does not support"):
+            fig3_1.run(
+                n=64,
+                repetitions=1,
+                options=ExperimentOptions(collect_metrics=True),
+            )
+        with pytest.raises(ValueError, match="does not support"):
+            link_crashes.run(
+                dead_link_counts=(0,),
+                repetitions=1,
+                n_terms=40,
+                options=ExperimentOptions(backend="fast"),
+            )
+
+    def test_harness_rejects_mixed_apis(self):
+        with pytest.raises(TypeError, match="not both"):
+            fig3_1.run(n=64, n_workers=2, options=ExperimentOptions())
+
+    def test_shared_runner_spans_subharness_calls(self, cache_dir):
+        runner = SweepRunner(cache_dir=cache_dir)
+        options = ExperimentOptions(runner=runner)
+        fig3_1.run_scaling(sizes=(32, 64), repetitions=1, options=options)
+        assert runner.tasks_submitted == 2
+        assert runner.tasks_executed == 2
+
+    def test_db_knob_records_provenance(self, tmp_path):
+        db_path = tmp_path / "spread.db"
+        points = grid_spread.run(
+            side=3,
+            repetitions=2,
+            options=ExperimentOptions(db=db_path),
+        )
+        assert points
+        with ResultsDB(db_path) as db:
+            runs = db.runs()  # one row per swept topology's batch
+            assert runs
+            assert all(run["status"] == "completed" for run in runs)
+            (count,) = db.query("SELECT COUNT(*) AS n FROM tasks")
+            assert count["n"] == sum(run["n_tasks"] for run in runs) > 0
+            # Task parameters land as queryable provenance JSON.
+            rows = db.query(
+                "SELECT DISTINCT json_extract(params_json, "
+                "'$.forward_probability') AS p FROM tasks"
+            )
+            assert {row["p"] for row in rows} == {0.5}
+
+    def test_instrumented_options_run_carries_metrics(self, tmp_path):
+        db_path = tmp_path / "metrics.db"
+        points = grid_spread.run(
+            side=3,
+            forward_probability=0.75,
+            repetitions=1,
+            options=ExperimentOptions(collect_metrics=True, db=db_path),
+        )
+        assert points[0].metrics is not None
+        with ResultsDB(db_path) as db:
+            (rounds,) = db.query(
+                "SELECT COUNT(*) AS n FROM round_metrics"
+            )
+            assert rounds["n"] > 0
