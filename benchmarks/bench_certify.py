@@ -1,0 +1,105 @@
+"""Benchmark: sequential certification vs the fixed-N replicate budget.
+
+A fixed-sample design sized by the Hoeffding bound needs
+``fixed_sample_size(claim)`` replicates (~150 at the default error
+levels) to separate the claim's indifference band, *regardless* of how
+clear-cut the cell is.  Wald's SPRT spends replicates adaptively: on
+clear-cut cells (intensity 0.0 always saturates, intensity 1.0 never
+does) it stops after a handful.  This benchmark certifies both extreme
+cells sequentially, replays the same decision with the fixed-N design
+over identically seeded replicates, and asserts the verdicts agree
+while the sequential path consumed at least 2x fewer replicates.
+
+The ``smoke``-marked test is the CI gate: a tiny claim accepted and
+rejected deterministically, no fixed-N sweep, seconds of wall-clock.
+"""
+
+import pytest
+
+from repro.metrics import extract_statistic
+from repro.runners import SimTask, SweepRunner, spawn_seeds
+from repro.stats import (
+    BernoulliClaim,
+    Certificate,
+    CertificationRunner,
+    Verdict,
+    fixed_sample_size,
+)
+
+#: The chaos-envelope claim at its default error levels.
+CLAIM = BernoulliClaim(metric="coverage>=0.99", target=0.9, indifference=0.2)
+
+FN = "repro.experiments.chaos:_chaos_once"
+
+PARAMS = dict(
+    kind="burst_upsets",
+    forward_probability=0.75,
+    side=4,
+    max_rounds=96,
+)
+
+#: The two clear-cut cells: no faults always saturates a 4x4 mesh within
+#: the budget; total upsets never let it saturate.
+CELLS = (("clear_accept", 0.0, Verdict.ACCEPT),
+         ("clear_reject", 1.0, Verdict.REJECT))
+
+BASE_SEED = 7
+
+
+def _certify(intensity: float) -> Certificate:
+    certifier = CertificationRunner(
+        SweepRunner(), batch_size=8, max_replicates=64, base_seed=BASE_SEED
+    )
+    return certifier.certify(
+        CLAIM, FN, {**PARAMS, "intensity": intensity}
+    )
+
+
+def _fixed_n_verdict(intensity: float, n: int) -> Verdict:
+    """The fixed-N design's decision over `n` identically seeded runs.
+
+    Accepts when the observed success fraction clears the midpoint of
+    the claim's indifference band — the standard fixed-sample decision
+    rule the Hoeffding sizing is built for.
+    """
+    seeds = spawn_seeds(BASE_SEED, n)
+    tasks = [
+        SimTask(fn=FN, params={**PARAMS, "intensity": intensity}, seed=seed)
+        for seed in seeds
+    ]
+    outcomes = SweepRunner().run(tasks)
+    values = [extract_statistic(CLAIM.metric, outcome) for outcome in outcomes]
+    midpoint = CLAIM.p0 + CLAIM.indifference / 2
+    mean = sum(values) / len(values)
+    return Verdict.ACCEPT if mean >= midpoint else Verdict.REJECT
+
+
+@pytest.mark.smoke
+def test_certify_smoke_deterministic():
+    """Tiny SPRT claims decide fast and bit-identically (the CI gate)."""
+    for _, intensity, expected in CELLS:
+        first = _certify(intensity)
+        second = _certify(intensity)
+        assert first.verdict is expected
+        assert first == second
+        assert first.n_observed <= 16
+
+
+def test_sequential_beats_fixed_n(benchmark, shape_report):
+    n_fixed = fixed_sample_size(CLAIM)
+    report = {}
+    for label, intensity, expected in CELLS:
+        certificate = _certify(intensity)
+        assert certificate.verdict is expected
+        fixed = _fixed_n_verdict(intensity, n_fixed)
+        # Equal verdicts at a fraction of the replicate spend.
+        assert fixed is certificate.verdict
+        assert certificate.n_observed * 2 <= n_fixed
+        report[label] = {
+            "sequential_n": certificate.n_observed,
+            "fixed_n": n_fixed,
+            "saving": round(n_fixed / certificate.n_observed, 1),
+        }
+
+    benchmark(_certify, 0.0)
+    shape_report["certify_sequential_vs_fixed"] = report

@@ -10,6 +10,7 @@ timings are reported for machines where the comparison is meaningful.
 import time
 
 from repro.experiments import fig4_4
+from repro.experiments.common import ExperimentOptions
 from repro.runners import SweepRunner
 
 SWEEP = dict(
@@ -22,17 +23,17 @@ SWEEP = dict(
 
 def test_serial_vs_parallel_wall_clock(benchmark, shape_report):
     serial_start = time.perf_counter()
-    serial = fig4_4.run(**SWEEP, n_workers=1)
+    serial = fig4_4.run(**SWEEP, options=ExperimentOptions(n_workers=1))
     serial_s = time.perf_counter() - serial_start
 
     parallel_start = time.perf_counter()
-    parallel = fig4_4.run(**SWEEP, n_workers=4)
+    parallel = fig4_4.run(**SWEEP, options=ExperimentOptions(n_workers=4))
     parallel_s = time.perf_counter() - parallel_start
 
     # The tentpole guarantee: worker count never changes the numbers.
     assert serial == parallel
 
-    benchmark(fig4_4.run, **SWEEP, n_workers=4)
+    benchmark(fig4_4.run, **SWEEP, options=ExperimentOptions(n_workers=4))
     shape_report["runner_serial_vs_parallel"] = {
         "serial_s": round(serial_s, 3),
         "parallel4_s": round(parallel_s, 3),
@@ -45,13 +46,13 @@ def test_warm_cache_skips_every_simulation(tmp_path, benchmark, shape_report):
     cache_dir = tmp_path / "cache"
     cold = SweepRunner(cache_dir=cache_dir)
     cold_start = time.perf_counter()
-    first = fig4_4.run(**SWEEP, runner=cold)
+    first = fig4_4.run(**SWEEP, options=ExperimentOptions(runner=cold))
     cold_s = time.perf_counter() - cold_start
     assert cold.tasks_executed == cold.tasks_submitted > 0
 
     def warm_run():
         runner = SweepRunner(cache_dir=cache_dir)
-        result = fig4_4.run(**SWEEP, runner=runner)
+        result = fig4_4.run(**SWEEP, options=ExperimentOptions(runner=runner))
         assert runner.tasks_executed == 0
         assert runner.cache_hits == runner.tasks_submitted
         return result

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands cover the common workflows without writing a script:
+Ten commands cover the common workflows without writing a script:
 
 * ``info`` — version and package map;
 * ``spread`` — broadcast a rumor on a topology, print the saturation
@@ -18,6 +18,10 @@ Nine commands cover the common workflows without writing a script:
   (``repro.faults.scenarios``) over an intensity grid and print the
   degradation report with the recomputed tolerance thresholds
   (``repro.experiments.chaos``, see ``docs/faults.md``);
+* ``certify`` — re-derive the chaos tolerance envelope as *certified*
+  claims: per cell, a sequential SPRT decides "P(coverage >= target)
+  >= p" with explicit error bounds, stopping as soon as the verdict is
+  forced (``repro.stats``, see ``docs/stats.md``);
 * ``db`` — inspect a :class:`repro.service.ResultsDB` results database:
   ``repro db query`` (read-only SQL), ``repro db export`` (a table as
   JSON/CSV) and ``repro db gc`` (prune old runs) — see
@@ -144,8 +148,9 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("(Dumitras & Marculescu, DATE 2003 / CMU MS thesis 2003)")
     print()
     print("packages: core noc policies metrics faults crc bus energy apps "
-          "mp3 diversity experiments runners service")
-    print("commands: info spread probe mp3 figure policies profile chaos db")
+          "mp3 diversity experiments runners service stats")
+    print("commands: info spread probe mp3 figure policies profile chaos "
+          "certify db")
     return 0
 
 
@@ -471,6 +476,36 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_certify(args: argparse.Namespace) -> int:
+    from repro.experiments import certify
+
+    envelope = certify.certify_chaos_envelope(
+        kinds=tuple(args.kinds),
+        levels=tuple(args.levels),
+        side=args.side,
+        forward_probability=args.p,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        coverage_target=args.coverage_target,
+        target=args.target,
+        indifference=args.indifference,
+        alpha=args.alpha,
+        beta=args.beta,
+        batch_size=args.batch_size,
+        max_replicates=args.max_replicates,
+        options=_sweep_options(args, backend=args.backend),
+    )
+    print(
+        f"certified chaos envelope on a {args.side}x{args.side} mesh, "
+        f"p = {args.p}, budget {args.max_replicates} replicates/cell"
+    )
+    print(certify.format_envelope(envelope))
+    if args.db is not None:
+        print(f"certificates recorded in {args.db} "
+              "(repro db export --table certificates)")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.protocol import StochasticProtocol as Protocol
     from repro.experiments.grid_spread import _BroadcastSeed
@@ -791,6 +826,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(handler=cmd_chaos)
 
+    certify = subparsers.add_parser(
+        "certify",
+        help="certify the chaos tolerance envelope by sequential testing "
+        "(repro.stats)",
+        parents=[execution, backend],
+    )
+    certify.add_argument(
+        "--kinds",
+        nargs="+",
+        choices=("burst_upsets", "ramp_overflow", "link_flap"),
+        default=["burst_upsets", "ramp_overflow", "link_flap"],
+        help="scenario axes to certify (default: all three)",
+    )
+    certify.add_argument(
+        "--levels",
+        nargs="+",
+        type=float,
+        default=[0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0],
+        help="intensity grid per axis (default: 0 .. 1.0)",
+    )
+    certify.add_argument("--side", type=_positive_int, default=4)
+    certify.add_argument("--p", type=float, default=0.75)
+    certify.add_argument("--seed", type=int, default=0)
+    certify.add_argument("--max-rounds", type=_positive_int, default=96)
+    certify.add_argument(
+        "--coverage-target",
+        type=float,
+        default=0.99,
+        help="per-run coverage bar of the certified claim (default: 0.99)",
+    )
+    certify.add_argument(
+        "--target",
+        type=float,
+        default=0.9,
+        help="claimed per-run success probability (default: 0.9)",
+    )
+    certify.add_argument(
+        "--indifference",
+        type=float,
+        default=0.2,
+        help="SPRT indifference band below --target (default: 0.2)",
+    )
+    certify.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="false-accept bound (default: 0.05)",
+    )
+    certify.add_argument(
+        "--beta", type=float, default=0.05,
+        help="false-reject bound (default: 0.05)",
+    )
+    certify.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=8,
+        help="replicates per sweep batch — throughput plumbing only, "
+        "never changes the verdict (default: 8)",
+    )
+    certify.add_argument(
+        "--max-replicates",
+        type=_positive_int,
+        default=64,
+        help="per-cell replicate budget; an undecided test certifies "
+        "'undecided' (default: 64)",
+    )
+    certify.set_defaults(handler=cmd_certify)
+
     policies = subparsers.add_parser(
         "policies", help="forwarding-policy tools (repro.policies)"
     )
@@ -843,7 +944,7 @@ def build_parser() -> argparse.ArgumentParser:
     db_export.add_argument(
         "--table",
         choices=("runs", "configs", "tasks", "round_metrics",
-                 "scenario_drops"),
+                 "scenario_drops", "certificates"),
         default="tasks",
     )
     db_export.add_argument("--format", choices=("json", "csv"),

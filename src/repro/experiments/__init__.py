@@ -31,6 +31,7 @@ exactly — the reproduced numbers do not change.
 """
 
 from repro.experiments import (
+    certify,
     chaos,
     fig3_1,
     fig4_4,
@@ -50,6 +51,7 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "certify",
     "chaos",
     "fig3_1",
     "fig4_4",

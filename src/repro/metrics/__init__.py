@@ -13,7 +13,10 @@ into first-class, per-round time series instead of end-of-run scalars:
   per-round phases, surfaced by the ``repro profile`` CLI subcommand;
 * :func:`aggregate_metrics` — mean / 95 % CI reduction of a sweep
   cell's repetitions into a :class:`MetricsSummary`, bit-identical for
-  any worker count.
+  any worker count;
+* :func:`extract_statistic` — per-replicate scalar extraction by metric
+  name (``"coverage"``, ``"rounds"``, threshold indicators like
+  ``"coverage>=0.99"``), feeding ``repro.stats`` sequential tests.
 
 See ``docs/observability.md`` for the schema, lifecycle and overhead
 numbers, and ``docs/index.md`` for where this package sits in the
@@ -27,11 +30,17 @@ from repro.metrics.aggregate import (
     aggregate_metrics,
 )
 from repro.metrics.collector import MetricsCollector, run_with_metrics
+from repro.metrics.extract import (
+    EXTRACTORS,
+    extract_statistic,
+    register_extractor,
+)
 from repro.metrics.profiler import PHASES, PhaseProfiler
 from repro.metrics.records import CSV_COLUMNS, RoundSample, RunMetrics
 
 __all__ = [
     "CSV_COLUMNS",
+    "EXTRACTORS",
     "MetricsCollector",
     "MetricsSummary",
     "PHASES",
@@ -41,5 +50,7 @@ __all__ = [
     "ScalarSummary",
     "SeriesSummary",
     "aggregate_metrics",
+    "extract_statistic",
+    "register_extractor",
     "run_with_metrics",
 ]

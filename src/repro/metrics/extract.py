@@ -1,0 +1,175 @@
+"""Per-replicate statistic extraction for certification sweeps.
+
+:class:`repro.stats.Claim` specs name the quantity they certify by a
+``metric`` string; this module resolves that string against a task
+outcome.  Extraction understands the convention shared by the sweep
+harnesses: a task returns a tuple beginning ``(completed, rounds, ...)``
+— :func:`repro.experiments.chaos._chaos_once` appends a final coverage
+fraction, :func:`repro.experiments.grid_spread._spread_once` a coverage
+curve — optionally with a trailing :class:`RunMetrics` when the run was
+instrumented (``collect_metrics=True``).
+
+Two metric-name forms are accepted:
+
+* a **registered extractor name** — ``"completed"``, ``"rounds"``,
+  ``"coverage"``, ``"energy"`` (see :data:`EXTRACTORS`; register more
+  with :func:`register_extractor`);
+* a **threshold indicator expression** — ``"<name><op><number>"`` with
+  ``op`` one of ``>=``, ``<=``, turning any scalar extractor into the
+  0/1 indicator a Bernoulli claim needs, e.g. ``"coverage>=0.99"`` is
+  1.0 exactly when the replicate's final coverage reached 0.99.
+
+Extraction is pure and total over the statistic: unknown names and
+non-numeric results raise ``ValueError`` immediately instead of feeding
+garbage into a sequential test.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.metrics.records import RunMetrics
+
+__all__ = ["EXTRACTORS", "extract_statistic", "register_extractor"]
+
+
+def _trailing_metrics(outcome: Any) -> RunMetrics | None:
+    """The instrumented run's ``RunMetrics``, when the outcome has one."""
+    if isinstance(outcome, RunMetrics):
+        return outcome
+    if isinstance(outcome, tuple) and outcome and isinstance(
+        outcome[-1], RunMetrics
+    ):
+        return outcome[-1]
+    return None
+
+
+def _completed(outcome: Any) -> float:
+    """1.0 when the run completed (reached its stop condition)."""
+    if isinstance(outcome, tuple) and outcome:
+        return 1.0 if outcome[0] else 0.0
+    raise ValueError(
+        f"cannot read 'completed' from {type(outcome).__name__}; expected "
+        "the harness tuple convention (completed, rounds, ...)"
+    )
+
+
+def _rounds(outcome: Any) -> float:
+    """Rounds the run took (the latency statistic)."""
+    if (
+        isinstance(outcome, tuple)
+        and len(outcome) >= 2
+        and isinstance(outcome[1], (int, float))
+    ):
+        return float(outcome[1])
+    metrics = _trailing_metrics(outcome)
+    if metrics is not None:
+        return float(metrics.rounds)
+    raise ValueError(
+        f"cannot read 'rounds' from {type(outcome).__name__}; expected "
+        "(completed, rounds, ...) or a RunMetrics"
+    )
+
+
+def _coverage(outcome: Any) -> float:
+    """Final informed-tile coverage fraction in [0, 1]."""
+    metrics = _trailing_metrics(outcome)
+    if isinstance(outcome, tuple) and len(outcome) >= 3:
+        body = outcome[:-1] if metrics is not None else outcome
+        if len(body) >= 3:
+            final = body[2]
+            # grid_spread-style outcomes carry the whole coverage curve.
+            if isinstance(final, (list, tuple)) and final:
+                final = final[-1]
+            if isinstance(final, (int, float)):
+                return float(final)
+    if metrics is not None and metrics.samples:
+        fractions = metrics.coverage_fraction()
+        return float(fractions[-1])
+    raise ValueError(
+        f"cannot read 'coverage' from {type(outcome).__name__}; expected "
+        "(completed, rounds, coverage[, RunMetrics]) or an instrumented "
+        "RunMetrics"
+    )
+
+
+def _energy(outcome: Any) -> float:
+    """Final cumulative Eq. 3 energy (needs an instrumented outcome)."""
+    metrics = _trailing_metrics(outcome)
+    if metrics is None:
+        raise ValueError(
+            "the 'energy' metric needs an instrumented outcome "
+            "(collect_metrics=True appends a RunMetrics)"
+        )
+    return float(metrics.total_energy_j())
+
+
+#: name -> extractor; the vocabulary claim specs draw their `metric` from.
+EXTRACTORS: dict[str, Callable[[Any], float]] = {
+    "completed": _completed,
+    "rounds": _rounds,
+    "coverage": _coverage,
+    "energy": _energy,
+}
+
+
+def register_extractor(
+    name: str, fn: Callable[[Any], float]
+) -> Callable[[Any], float]:
+    """Add a named statistic extractor (loud on collisions)."""
+    if not name or any(op in name for op in (">=", "<=")):
+        raise ValueError(
+            f"extractor names must be non-empty and operator-free, "
+            f"got {name!r}"
+        )
+    existing = EXTRACTORS.get(name)
+    if existing is not None and existing is not fn:
+        raise ValueError(f"extractor {name!r} already registered")
+    EXTRACTORS[name] = fn
+    return fn
+
+
+#: ``name>=number`` / ``name<=number`` threshold-indicator expressions.
+_INDICATOR = re.compile(r"^(?P<name>[^<>=]+)(?P<op>>=|<=)(?P<bound>.+)$")
+
+
+def extract_statistic(metric: str, outcome: Any) -> float:
+    """Resolve `metric` against one task `outcome`.
+
+    Plain names look up :data:`EXTRACTORS`; ``"coverage>=0.99"``-style
+    expressions extract the named statistic and return the 0/1
+    indicator of the comparison.  Raises ``ValueError`` for unknown
+    names, malformed expressions, or outcomes the extractor cannot
+    read.
+    """
+    expression = _INDICATOR.match(metric)
+    if expression is not None:
+        name = expression.group("name").strip()
+        try:
+            bound = float(expression.group("bound"))
+        except ValueError:
+            raise ValueError(
+                f"malformed threshold indicator {metric!r}: the bound "
+                f"{expression.group('bound')!r} is not a number"
+            ) from None
+        value = extract_statistic(name, outcome)
+        if expression.group("op") == ">=":
+            return 1.0 if value >= bound else 0.0
+        return 1.0 if value <= bound else 0.0
+    try:
+        extractor = EXTRACTORS[metric]
+    except KeyError:
+        known = ", ".join(sorted(EXTRACTORS))
+        raise ValueError(
+            f"unknown replicate metric {metric!r}; registered metrics: "
+            f"{known} (threshold indicators like 'coverage>=0.99' also "
+            "work)"
+        ) from None
+    value = extractor(outcome)
+    if not isinstance(value, (int, float)):
+        raise ValueError(
+            f"extractor {metric!r} returned non-numeric "
+            f"{type(value).__name__}"
+        )
+    return float(value)

@@ -184,14 +184,32 @@ class ResultsDB:
             )
         return int(cursor.lastrowid)
 
-    def finish_run(self, run_id: int, status: str = "completed") -> None:
-        """Stamp a campaign's terminal `status` and finish time."""
+    def finish_run(
+        self,
+        run_id: int,
+        status: str = "completed",
+        *,
+        n_tasks: int | None = None,
+    ) -> None:
+        """Stamp a campaign's terminal `status` and finish time.
+
+        Adaptive campaigns (certifications) don't know their task count
+        up front; passing `n_tasks` updates the count recorded by
+        :meth:`begin_run` at close time.
+        """
         with self._lock, self._connection:
-            self._connection.execute(
-                "UPDATE runs SET status = ?, finished_at = ? "
-                "WHERE run_id = ?",
-                (status, time.time(), run_id),
-            )
+            if n_tasks is None:
+                self._connection.execute(
+                    "UPDATE runs SET status = ?, finished_at = ? "
+                    "WHERE run_id = ?",
+                    (status, time.time(), run_id),
+                )
+            else:
+                self._connection.execute(
+                    "UPDATE runs SET status = ?, finished_at = ?, "
+                    "n_tasks = ? WHERE run_id = ?",
+                    (status, time.time(), n_tasks, run_id),
+                )
 
     def record_task(
         self,
@@ -311,6 +329,45 @@ class ResultsDB:
                 ],
             )
 
+    def record_certificate(
+        self, certificate: Any, *, run_id: int | None = None
+    ) -> int:
+        """Append one :class:`repro.stats.Certificate`; returns its id.
+
+        The claim spec and decision trajectory are stored as
+        deterministic JSON next to the queryable verdict columns, so
+        ``repro db query`` can filter certificates without unpickling
+        anything.  `run_id` ties the certificate to the campaign row
+        whose task rows fed the decision (nullable: async certifications
+        span several job-queue campaign rows).
+        """
+        claim = certificate.claim
+        payload = certificate.to_json_dict()
+        with self._lock, self._connection:
+            cursor = self._connection.execute(
+                "INSERT INTO certificates (run_id, label, claim_kind, "
+                "metric, claim_json, verdict, confidence, n_observed, "
+                "budget, base_seed, trajectory_json, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    certificate.label,
+                    claim.kind,
+                    claim.metric,
+                    json.dumps(payload["claim"], sort_keys=True),
+                    certificate.verdict.value,
+                    certificate.confidence,
+                    certificate.n_observed,
+                    certificate.budget,
+                    None
+                    if certificate.base_seed is None
+                    else str(certificate.base_seed),
+                    json.dumps(payload["trajectory"], sort_keys=True),
+                    time.time(),
+                ),
+            )
+        return int(cursor.lastrowid)
+
     # -------------------------------------------------------------- reading
 
     def query(
@@ -335,6 +392,17 @@ class ResultsDB:
     def runs(self) -> list[dict[str, Any]]:
         """Every campaign row, oldest first."""
         return self.query("SELECT * FROM runs ORDER BY run_id")
+
+    def certificates(
+        self, *, run_id: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Certificate rows, oldest first (optionally one campaign's)."""
+        if run_id is None:
+            return self.query("SELECT * FROM certificates ORDER BY cert_id")
+        return self.query(
+            "SELECT * FROM certificates WHERE run_id = ? ORDER BY cert_id",
+            (run_id,),
+        )
 
     def results_for_run(self, run_id: int) -> list[Any]:
         """The run's results in task order, unpickled bit-identically."""
@@ -373,10 +441,13 @@ class ResultsDB:
         """Dump one table as deterministic JSON lines or CSV text.
 
         Binary columns (``result_pickle``) are elided — exports are for
-        analysis pipelines, the blobs stay in the database.
+        analysis pipelines, the blobs stay in the database.  CSV columns
+        are emitted in sorted name order (the union across rows), so the
+        header line is stable across schema migrations and row shapes.
         """
         if table not in (
-            "runs", "configs", "tasks", "round_metrics", "scenario_drops"
+            "runs", "configs", "tasks", "round_metrics", "scenario_drops",
+            "certificates",
         ):
             raise ValueError(f"unknown table {table!r}")
         if fmt not in ("json", "csv"):
@@ -390,11 +461,11 @@ class ResultsDB:
             ) + ("\n" if rows else "")
         if not rows:
             return ""
-        columns = list(rows[0])
+        columns = sorted({column for row in rows for column in row})
         lines = [",".join(columns)]
         for row in rows:
             lines.append(
-                ",".join(_csv_field(row[column]) for column in columns)
+                ",".join(_csv_field(row.get(column)) for column in columns)
             )
         return "\n".join(lines) + "\n"
 

@@ -25,6 +25,10 @@ Tables (see ``docs/service.md`` for the SQL cookbook):
   time series of instrumented tasks.
 * ``scenario_drops`` — per-task drop attribution by dynamic-fault
   scenario phase (:meth:`RunMetrics.drops_by_scenario`).
+* ``certificates`` (v2) — one row per
+  :class:`repro.stats.Certificate`: the frozen claim spec, verdict,
+  confidence, replicate count and the full sequential-decision
+  trajectory, optionally tied to the campaign row whose tasks fed it.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ from __future__ import annotations
 import sqlite3
 
 #: The schema version this release writes (``PRAGMA user_version``).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Forward-only migration scripts; ``MIGRATIONS[i]`` upgrades a database
 #: from user_version ``i`` to ``i + 1``.
@@ -105,6 +109,28 @@ MIGRATIONS: tuple[str, ...] = (
         count     INTEGER NOT NULL,
         PRIMARY KEY (task_id, scenario, drop_kind)
     ) WITHOUT ROWID;
+    """,
+    # v1 -> v2: sequential-certification records (repro.stats).
+    """
+    CREATE TABLE certificates (
+        cert_id         INTEGER PRIMARY KEY AUTOINCREMENT,
+        run_id          INTEGER
+                        REFERENCES runs(run_id) ON DELETE CASCADE,
+        label           TEXT NOT NULL DEFAULT '',
+        claim_kind      TEXT NOT NULL,
+        metric          TEXT NOT NULL,
+        claim_json      TEXT NOT NULL,
+        verdict         TEXT NOT NULL
+                        CHECK (verdict IN ('accept', 'reject', 'undecided')),
+        confidence      REAL NOT NULL,
+        n_observed      INTEGER NOT NULL,
+        budget          INTEGER NOT NULL,
+        -- Decimal text, like tasks.seed: SeedSequence roots are uint64.
+        base_seed       TEXT,
+        trajectory_json TEXT NOT NULL,
+        created_at      REAL NOT NULL
+    );
+    CREATE INDEX idx_certificates_run ON certificates(run_id);
     """,
 )
 

@@ -61,6 +61,8 @@ def test_docs_pages_exist():
         "runners.md",
         "policies.md",
         "protocol.md",
+        "service.md",
+        "stats.md",
     }
     present = {p.name for p in (REPO_ROOT / "docs").glob("*.md")}
     assert expected <= present

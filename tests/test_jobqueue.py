@@ -248,6 +248,80 @@ class TestCancellation:
         # The checkpointed cells come back from the cache, unexecuted.
         assert status.n_cached >= done
 
+    def test_cancel_races_chunk_boundary_without_orphan_db_rows(
+        self, cache_dir, tmp_path
+    ):
+        """Cancel mid-chunk while ResultsDB write-through is in flight.
+
+        The cancel request lands while a chunk is still executing (its
+        task rows are being appended to the database).  The job must
+        stop at the chunk boundary leaving the store consistent — the
+        campaign row stamped ``cancelled``, exactly one task row per
+        delivered completion, none orphaned on a ``running`` run — and
+        a resubmission over the same cache must resume bit-identically.
+        """
+        db_path = tmp_path / "race.db"
+        tasks = [
+            SimTask.call(_slow_cell, index=i, seed=0) for i in range(10)
+        ]
+
+        async def cancel_mid_chunk():
+            async with JobQueue(
+                cache_dir=cache_dir, db=db_path, chunk_size=3
+            ) as queue:
+                job_id = await queue.submit(tasks, label="race")
+                # Wait for the first write-through, i.e. mid-chunk: the
+                # chunk has started delivering but has not finished.
+                while queue.status(job_id).n_done < 1:
+                    await asyncio.sleep(0.002)
+                assert await queue.cancel(job_id)
+                await queue.join()
+                status = queue.status(job_id)
+                assert status.state is JobState.CANCELLED
+                return status.n_done
+
+        done = _run(cancel_mid_chunk())
+        # The in-flight chunk ran to its boundary; nothing after it did.
+        assert 1 <= done < 10
+        assert done % 3 == 0
+
+        with ResultsDB(db_path) as db:
+            (run,) = db.runs()
+            assert run["status"] == "cancelled"
+            assert run["finished_at"] is not None
+            rows = db.query(
+                "SELECT task_index, source FROM tasks ORDER BY task_index"
+            )
+            # One row per delivered completion — no orphans from the
+            # cancelled tail, no rows outside the campaign.
+            assert [row["task_index"] for row in rows] == list(range(done))
+            orphans = db.query(
+                "SELECT COUNT(*) AS n FROM tasks WHERE run_id NOT IN "
+                "(SELECT run_id FROM runs)"
+            )
+            assert orphans[0]["n"] == 0
+
+        async def resume():
+            async with JobQueue(
+                cache_dir=cache_dir, db=db_path, chunk_size=3
+            ) as queue:
+                job_id = await queue.submit(tasks, label="race resume")
+                result = await queue.result(job_id)
+                return result, queue.status(job_id)
+
+        result, status = _run(resume())
+        assert result == list(range(10))  # bit-identical to a clean run
+        assert status.n_cached >= done  # checkpointed cells not re-run
+
+        with ResultsDB(db_path) as db:
+            statuses = [run["status"] for run in db.runs()]
+            assert statuses == ["cancelled", "completed"]
+            full = db.query(
+                "SELECT COUNT(*) AS n FROM tasks t JOIN runs r "
+                "ON t.run_id = r.run_id WHERE r.status = 'completed'"
+            )
+            assert full[0]["n"] == 10
+
 
 class TestDatabaseParity:
     def test_nine_cell_campaign_matches_legacy_pickle_path(

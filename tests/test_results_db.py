@@ -54,13 +54,36 @@ class TestSchema:
             )
         }
         assert {
-            "runs", "configs", "tasks", "round_metrics", "scenario_drops"
+            "runs", "configs", "tasks", "round_metrics", "scenario_drops",
+            "certificates",
         } <= tables
 
     def test_migrate_is_idempotent(self, db):
         connection = sqlite3.connect(db.path)
         assert migrate(connection) == 0
         connection.close()
+
+    def test_v1_database_upgrades_in_place_preserving_rows(self, tmp_path):
+        path = tmp_path / "v1.db"
+        connection = sqlite3.connect(path)
+        connection.executescript(MIGRATIONS[0])
+        connection.execute("PRAGMA user_version = 1")
+        connection.execute(
+            "INSERT INTO runs (label, status, n_tasks, started_at) "
+            "VALUES ('legacy', 'completed', 1, 1.0)"
+        )
+        connection.execute(
+            "INSERT INTO tasks (run_id, task_index, cache_key, fn, "
+            "params_json, source, result_pickle, created_at) "
+            "VALUES (1, 0, 'k', 'm:f', '{}', 'executed', x'00', 1.0)"
+        )
+        connection.commit()
+        connection.close()
+        with ResultsDB(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            assert [run["label"] for run in store.runs()] == ["legacy"]
+            assert store.query("SELECT COUNT(*) AS n FROM tasks")[0]["n"] == 1
+            assert store.certificates() == []
 
     def test_newer_schema_version_is_refused(self, tmp_path):
         path = tmp_path / "future.db"
@@ -279,8 +302,28 @@ class TestExportAndGc:
     def test_csv_export_has_header_and_rows(self, db):
         self._populate(db)
         lines = db.export("runs", fmt="csv").strip().splitlines()
-        assert lines[0].startswith("run_id,")
+        assert "run_id" in lines[0].split(",")
         assert len(lines) == 2
+
+    def test_csv_export_column_order_is_stable_and_sorted(self, db):
+        """Regression: CSV headers are the sorted column-name union.
+
+        The header used to follow SQLite's declaration order (whatever
+        ``SELECT *`` produced for the first row), so downstream parsers
+        broke whenever a migration appended a column.  Sorted names are
+        stable across schema versions by construction.
+        """
+        self._populate(db)
+        for table in ("runs", "tasks", "certificates"):
+            text = db.export(table, fmt="csv")
+            if not text:
+                continue
+            header = text.splitlines()[0].split(",")
+            assert header == sorted(header)
+        header = db.export("tasks", fmt="csv").splitlines()[0].split(",")
+        assert "result_pickle" not in header
+        row = db.export("tasks", fmt="csv").splitlines()[1].split(",")
+        assert len(row) >= len(header)  # quoted cells may contain commas
 
     def test_export_rejects_unknown_table_and_format(self, db):
         with pytest.raises(ValueError, match="unknown table"):

@@ -7,6 +7,7 @@ import pytest
 from repro.core.protocol import StochasticProtocol
 from repro.core.theory import simulate_rumor_spread
 from repro.experiments import fig4_4
+from repro.experiments.common import ExperimentOptions
 from repro.noc.config import SimConfig
 from repro.noc.topology import Mesh2D
 from repro.runners import (
@@ -218,8 +219,10 @@ class TestExperimentDeterminism:
             repetitions=2,
             max_rounds=200,
         )
-        serial = fig4_4.run(**kwargs, n_workers=1)
-        parallel = fig4_4.run(**kwargs, n_workers=4)
+        serial = fig4_4.run(**kwargs, options=ExperimentOptions(n_workers=1))
+        parallel = fig4_4.run(
+            **kwargs, options=ExperimentOptions(n_workers=4)
+        )
         assert serial == parallel
 
     def test_fig4_4_warm_cache_runs_zero_simulations(self, cache_dir):
@@ -230,11 +233,11 @@ class TestExperimentDeterminism:
             max_rounds=200,
         )
         cold = SweepRunner(cache_dir=cache_dir)
-        first = fig4_4.run(**kwargs, runner=cold)
+        first = fig4_4.run(**kwargs, options=ExperimentOptions(runner=cold))
         assert cold.tasks_executed > 0
 
         warm = SweepRunner(cache_dir=cache_dir)
-        second = fig4_4.run(**kwargs, runner=warm)
+        second = fig4_4.run(**kwargs, options=ExperimentOptions(runner=warm))
         assert warm.tasks_executed == 0
         assert warm.cache_hits == warm.tasks_submitted > 0
         assert second == first
