@@ -1,0 +1,93 @@
+"""Benchmark: the protocol frontier's headline trade-offs.
+
+The frontier PR adds push-pull rumor spreading, feedback termination and
+a deterministic adaptive-routing baseline to the policy zoo.  This file
+records the trade-offs the ``repro frontier`` comparison is built to
+show, and gates the claims that make the campaign worth running:
+
+* push-pull saturates a clean mesh in fewer rounds than push-only
+  Bernoulli gossip at matched seeds;
+* feedback termination (``feedback_k``) cuts push transmissions without
+  giving up full coverage;
+* the adaptive-routing baseline is the cheapest protocol on a clean
+  mesh — and loses coverage under data upsets that stochastic
+  protocols shrug off (the paper's core argument, quantified).
+
+The ``smoke``-marked test is the CI gate: a tiny paired campaign on
+both engine backends, asserting bit-identical reports.
+"""
+
+import pytest
+
+from repro.experiments import protocol_frontier
+from repro.experiments.common import ExperimentOptions
+
+SIDE = 4
+REPETITIONS = 3
+MAX_ROUNDS = 48
+
+
+def _campaign(backend="object", repetitions=REPETITIONS):
+    return protocol_frontier.run(
+        side=SIDE,
+        repetitions=repetitions,
+        seed=11,
+        max_rounds=MAX_ROUNDS,
+        upset_rates=(0.0, 0.4),
+        link_crash_counts=(4,),
+        options=ExperimentOptions(backend=backend),
+    )
+
+
+def _point(report, protocol, fault, level):
+    for point in report.points:
+        if (point.protocol, point.fault, point.level) == (
+            protocol, fault, level,
+        ):
+            return point
+    raise AssertionError(f"no cell {protocol} {fault}={level}")
+
+
+@pytest.mark.smoke
+@pytest.mark.frontier
+def test_frontier_smoke_backends_agree():
+    """A tiny paired campaign is bit-identical across engine backends."""
+    on_object = _campaign("object", repetitions=2)
+    on_fast = _campaign("fast", repetitions=2)
+    assert on_object == on_fast
+    protocols = {point.protocol for point in on_object.points}
+    assert len(protocols) == len(protocol_frontier.DEFAULT_PROTOCOLS)
+
+
+@pytest.mark.frontier
+def test_frontier_tradeoffs(benchmark, shape_report):
+    report = _campaign()
+    bernoulli = _point(report, "bernoulli(forward_probability=0.5)",
+                       "upset", 0.0)
+    push_pull = _point(report, "push_pull", "upset", 0.0)
+    feedback = _point(report, "push_pull(feedback_k=2)", "upset", 0.0)
+    baseline = _point(report, "adaptive_route", "upset", 0.0)
+
+    # Pulling shrinks the uninformed remainder: fewer rounds than push.
+    assert push_pull.rounds < bernoulli.rounds
+    # Feedback termination trims pushes at equal (full) coverage.
+    assert feedback.transmissions < push_pull.transmissions
+    assert feedback.coverage == 1.0
+    # Deterministic routing is the clean-mesh optimum...
+    assert baseline.transmissions < push_pull.transmissions
+    assert baseline.coverage == 1.0
+    # ...and the upset axis breaks it while gossip stays saturated.
+    baseline_upset = _point(report, "adaptive_route", "upset", 0.4)
+    push_pull_upset = _point(report, "push_pull", "upset", 0.4)
+    assert baseline_upset.coverage < 1.0
+    assert push_pull_upset.coverage == 1.0
+
+    benchmark(_campaign)
+    shape_report["protocol_frontier"] = {
+        "bernoulli_rounds": round(bernoulli.rounds, 1),
+        "push_pull_rounds": round(push_pull.rounds, 1),
+        "feedback_transmissions": round(feedback.transmissions),
+        "push_pull_transmissions": round(push_pull.transmissions),
+        "baseline_clean_coverage": baseline.coverage,
+        "baseline_upset_coverage": round(baseline_upset.coverage, 3),
+    }

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten commands cover the common workflows without writing a script:
+Eleven commands cover the common workflows without writing a script:
 
 * ``info`` — version and package map;
 * ``spread`` — broadcast a rumor on a topology, print the saturation
@@ -22,6 +22,13 @@ Ten commands cover the common workflows without writing a script:
   claims: per cell, a sequential SPRT decides "P(coverage >= target)
   >= p" with explicit error bounds, stopping as soon as the verdict is
   forced (``repro.stats``, see ``docs/stats.md``);
+* ``frontier`` — the paired protocol comparison: Bernoulli push gossip
+  vs push-pull rumor spreading (with and without feedback termination)
+  vs the deterministic adaptive-routing baseline, racing on matched
+  seeds across fault levels; ``--certify`` additionally certifies each
+  protocol's chaos-tolerance envelope
+  (``repro.experiments.protocol_frontier``, see
+  ``docs/protocols-frontier.md``);
 * ``db`` — inspect a :class:`repro.service.ResultsDB` results database:
   ``repro db query`` (read-only SQL), ``repro db export`` (a table as
   JSON/CSV) and ``repro db gc`` (prune old runs) — see
@@ -150,7 +157,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("packages: core noc policies metrics faults crc bus energy apps "
           "mp3 diversity experiments runners service stats")
     print("commands: info spread probe mp3 figure policies profile chaos "
-          "certify db")
+          "certify frontier db")
     return 0
 
 
@@ -503,6 +510,69 @@ def cmd_certify(args: argparse.Namespace) -> int:
     if args.db is not None:
         print(f"certificates recorded in {args.db} "
               "(repro db export --table certificates)")
+    return 0
+
+
+def cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.experiments import protocol_frontier
+
+    options = _sweep_options(args, backend=args.backend)
+    report = protocol_frontier.run(
+        side=args.side,
+        upset_rates=tuple(args.upsets),
+        link_crash_counts=tuple(args.link_crashes),
+        repetitions=args.repetitions,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        deadline_rounds=args.deadline_rounds,
+        options=options,
+    )
+    if args.metrics_out is not None:
+        _write_metrics_json(
+            args.metrics_out,
+            {
+                "experiment": "protocol_frontier",
+                "deadline_rounds": report.deadline_rounds,
+                "seed": args.seed,
+                "points": [
+                    {
+                        "protocol": point.protocol,
+                        "fault": point.fault,
+                        "level": point.level,
+                        "coverage": point.coverage,
+                        "completion_rate": point.completion_rate,
+                        "deadline_rate": point.deadline_rate,
+                        "rounds": point.rounds,
+                        "transmissions": point.transmissions,
+                        "pull_requests": point.pull_requests,
+                        "energy_j": point.energy_j,
+                    }
+                    for point in report.points
+                ],
+            },
+        )
+        print(f"comparison points written to {args.metrics_out}")
+    print(
+        f"protocol frontier on a {args.side}x{args.side} mesh "
+        f"({args.repetitions} paired repetitions per cell)"
+    )
+    print(protocol_frontier.format_table(report))
+    if args.certify:
+        envelope = protocol_frontier.certify_frontier(
+            kinds=tuple(args.certify_kinds),
+            levels=tuple(args.certify_levels),
+            side=args.side,
+            seed=args.seed,
+            max_rounds=args.certify_max_rounds,
+            coverage_target=args.coverage_target,
+            max_replicates=args.max_replicates,
+            options=options,
+        )
+        print()
+        print(protocol_frontier.format_envelope(envelope))
+        if args.db is not None:
+            print(f"certificates recorded in {args.db} "
+                  "(repro db export --table certificates)")
     return 0
 
 
@@ -891,6 +961,78 @@ def build_parser() -> argparse.ArgumentParser:
         "'undecided' (default: 64)",
     )
     certify.set_defaults(handler=cmd_certify)
+
+    frontier = subparsers.add_parser(
+        "frontier",
+        help="paired protocol comparison: push gossip vs push-pull vs "
+        "adaptive routing (repro.experiments.protocol_frontier)",
+        parents=[execution, backend, metrics_out],
+    )
+    frontier.add_argument("--side", type=_positive_int, default=4)
+    frontier.add_argument(
+        "--upsets",
+        nargs="+",
+        type=float,
+        default=[0.0, 0.2, 0.4],
+        help="swept p_upset levels (default: 0.0 0.2 0.4; 0.0 is the "
+        "clean baseline)",
+    )
+    frontier.add_argument(
+        "--link-crashes",
+        nargs="+",
+        type=int,
+        default=[4, 8],
+        help="swept dead-link counts (default: 4 8)",
+    )
+    frontier.add_argument("--repetitions", type=_positive_int, default=5)
+    frontier.add_argument("--seed", type=int, default=0)
+    frontier.add_argument("--max-rounds", type=_positive_int, default=48)
+    frontier.add_argument(
+        "--deadline-rounds",
+        type=_positive_int,
+        default=None,
+        help="soft real-time deadline behind the deadline-rate column "
+        "(default: --max-rounds)",
+    )
+    frontier.add_argument(
+        "--certify",
+        action="store_true",
+        help="additionally certify each protocol's chaos-tolerance "
+        "envelope by sequential testing (repro.stats)",
+    )
+    frontier.add_argument(
+        "--certify-kinds",
+        nargs="+",
+        choices=("burst_upsets", "ramp_overflow", "link_flap"),
+        default=["burst_upsets"],
+        help="scenario axes for --certify (default: burst_upsets)",
+    )
+    frontier.add_argument(
+        "--certify-levels",
+        nargs="+",
+        type=float,
+        default=[0.0, 0.5, 0.9],
+        help="intensity grid for --certify (default: 0.0 0.5 0.9)",
+    )
+    frontier.add_argument(
+        "--certify-max-rounds",
+        type=_positive_int,
+        default=96,
+        help="per-replicate round budget for --certify (default: 96)",
+    )
+    frontier.add_argument(
+        "--coverage-target",
+        type=float,
+        default=0.99,
+        help="per-run coverage bar of the certified claim (default: 0.99)",
+    )
+    frontier.add_argument(
+        "--max-replicates",
+        type=_positive_int,
+        default=64,
+        help="per-cell replicate budget for --certify (default: 64)",
+    )
+    frontier.set_defaults(handler=cmd_frontier)
 
     policies = subparsers.add_parser(
         "policies", help="forwarding-policy tools (repro.policies)"

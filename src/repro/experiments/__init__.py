@@ -47,6 +47,7 @@ from repro.experiments import (
     link_crashes,
     plots,
     policy_compare,
+    protocol_frontier,
     report,
 )
 
@@ -67,5 +68,6 @@ __all__ = [
     "link_crashes",
     "plots",
     "policy_compare",
+    "protocol_frontier",
     "report",
 ]

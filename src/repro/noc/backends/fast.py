@@ -966,6 +966,7 @@ class FastNocSimulator(NocSimulator):
                 message_ids=self._msg_id[m_arr],
                 buffer_occupancy=self._buflen[t_arr],
                 buffer_capacity=self.config.buffer_capacity,
+                max_degree=self._max_deg,
             )
         )
         if p_row is None:
@@ -973,6 +974,9 @@ class FastNocSimulator(NocSimulator):
             return
         p_row = np.asarray(p_row, dtype=np.float64)
         link_ok = self._effective_link_ok()
+        if p_row.ndim == 2:
+            self._send_rows_matrix(round_index, t_arr, m_arr, p_row, link_ok)
+            return
         if self.fault_config.p_upset > 0.0:
             self._send_rows_pooled(round_index, t_arr, m_arr, p_row, link_ok)
         else:
@@ -984,8 +988,6 @@ class FastNocSimulator(NocSimulator):
         self, round_index, t_arr, m_arr, p_row, link_ok
     ) -> None:
         """Fully batched send: no upsets possible, one draw block total."""
-        stats = self.stats
-        observer = self.observer
         n_rows = t_arr.size
         max_deg = self._max_deg
         deg = self._deg[t_arr]
@@ -1020,6 +1022,14 @@ class FastNocSimulator(NocSimulator):
                 transmit[draw] = (pool[gather] < p_row[draw, None]) & (
                     jj[None, :] < draw_deg[:, None]
                 )
+        self._emit_transmit_matrix(round_index, t_arr, m_arr, transmit, link_ok)
+
+    def _emit_transmit_matrix(
+        self, round_index, t_arr, m_arr, transmit, link_ok
+    ) -> None:
+        """Emit a precomputed (row, port) transmit mask (no upset draws)."""
+        stats = self.stats
+        observer = self.observer
         if not transmit.any():
             return
         links_ok = link_ok[t_arr]
@@ -1099,6 +1109,99 @@ class FastNocSimulator(NocSimulator):
                         alt_events.get(i),
                     ),
                 )
+
+    def _send_rows_matrix(
+        self, round_index, t_arr, m_arr, p_mat, link_ok
+    ) -> None:
+        """Send from a 2-D deterministic decide_batch matrix.
+
+        Entries must be exactly 0.0 or 1.0 (per-row/per-port decisions
+        with no coin flips); fractional per-port probabilities have no
+        draw-order-preserving vectorised form, so they are rejected
+        loudly rather than silently diverging from ``backend='object'``.
+        """
+        max_deg = self._max_deg
+        if p_mat.shape != (t_arr.size, max_deg):
+            raise ValueError(
+                "2-D decide_batch must return shape (len(batch), "
+                f"max_degree) = {(t_arr.size, max_deg)}, got {p_mat.shape}"
+            )
+        if not (((p_mat == 0.0) | (p_mat == 1.0)).all()):
+            raise ValueError(
+                "2-D decide_batch matrices must be deterministic (every "
+                "entry 0.0 or 1.0); return a 1-D per-row probability "
+                "array or None for stochastic rules"
+            )
+        deg = self._deg[t_arr]
+        jj = np.arange(max_deg)
+        transmit = (p_mat >= 1.0) & (jj[None, :] < deg[:, None])
+        if self.fault_config.p_upset > 0.0:
+            # Decisions are draw-free, so the only RNG consumers are the
+            # per-live-transmission upset draws — walk them scalar-wise
+            # in (row, port) order, exactly like the object engine.
+            self._emit_transmit_scalar(
+                round_index, t_arr, m_arr, transmit, link_ok
+            )
+        else:
+            self._emit_transmit_matrix(
+                round_index, t_arr, m_arr, transmit, link_ok
+            )
+
+    def _emit_transmit_scalar(
+        self, round_index, t_arr, m_arr, transmit, link_ok
+    ) -> None:
+        """Emit a precomputed transmit mask with live scalar upset draws."""
+        stats = self.stats
+        observer = self.observer
+        injector = self.injector
+        builders: dict[int, _ChunkBuilder] = {}
+        link_ok_l = link_ok.tolist()
+        rows, ports = np.nonzero(transmit)
+        for row, port in zip(rows.tolist(), ports.tolist()):
+            tile_id = int(t_arr[row])
+            mid = int(m_arr[row])
+            neighbor = int(self._nbr[tile_id, port])
+            if not link_ok_l[tile_id][port]:
+                stats.record_dead_link()
+                self.policy.on_dead_link(tile_id, neighbor, round_index)
+                if observer is not None:
+                    observer.on_dead_link_drop(round_index, tile_id, neighbor)
+                continue
+            ttl0 = int(self._ttl[tile_id, mid])
+            hop0 = int(self._hop[tile_id, mid])
+            alt_src = (
+                self._alt_packets.get((tile_id, mid))
+                if self._alt_packets
+                else None
+            )
+            copy = self._event_packet(mid, ttl0, hop0, alt_src).copy_for_link()
+            was_upset = False
+            if injector.upset_occurs():
+                was_upset = True
+                stats.upsets_injected += 1
+                copy = copy.scrambled(injector.corrupt(copy.codeword))
+                if observer is not None:
+                    observer.on_upset_injected(
+                        round_index, tile_id, neighbor, copy
+                    )
+            delay = int(self._delay[tile_id, port])
+            builder = builders.get(round_index + delay)
+            if builder is None:
+                builder = builders[round_index + delay] = _ChunkBuilder()
+            alt_packet = copy if (was_upset or alt_src is not None) else None
+            builder.add(
+                neighbor, mid, copy.ttl, copy.hop_count, was_upset,
+                copy.is_intact(), alt_packet,
+            )
+            stats.record_transmission(
+                round_index,
+                copy.size_bits,
+                copy.size_bits * float(self._epb[tile_id, port]),
+            )
+            if observer is not None:
+                observer.on_transmission(round_index, tile_id, neighbor, copy)
+        for arrival, builder in builders.items():
+            self._pending.setdefault(arrival, []).append(builder.chunk())
 
     def _emit_delayed(
         self, round_index, delays, dsts, mids, ttls, hops, upsets, intact, alt
@@ -1249,6 +1352,30 @@ class FastNocSimulator(NocSimulator):
         self._rewind(bit_generator, anchor, used)
         for arrival, builder in builders.items():
             self._pending.setdefault(arrival, []).append(builder.chunk())
+
+    def _latch_arrival(
+        self, arrival: int, dst: int, copy: Packet, was_upset: bool
+    ) -> None:
+        """Latch pull-phase traffic into the columnar pending chunks.
+
+        The shared :meth:`NocSimulator._pull_phase` emits materialised
+        packets; this override routes them into ``_pending`` so the fast
+        receive phase processes them exactly like send-phase arrivals
+        (pull responses are rare — a chunk per event is fine).
+        """
+        mid = self._register_message(copy)
+        canonical = self._msg_packets[mid]
+        non_canonical = (
+            was_upset
+            or not copy.is_intact()
+            or copy.codeword != canonical.codeword
+        )
+        builder = _ChunkBuilder()
+        builder.add(
+            dst, mid, copy.ttl, copy.hop_count, was_upset,
+            copy.is_intact(), copy if non_canonical else None,
+        )
+        self._pending.setdefault(arrival, []).append(builder.chunk())
 
     def _send_rows_sequential(self, round_index, t_arr, m_arr) -> None:
         """Exact per-row fallback for policies without decide_batch."""

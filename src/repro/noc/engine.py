@@ -297,6 +297,10 @@ class NocSimulator:
             # path delegates verbatim — bit-identical to the old engine.
             self.protocol = config.protocol
             self.policy = LegacyProtocolPolicy(config.protocol)
+        # Route-computing policies cache topology structure in bind();
+        # reset() then clears the per-run state, in that order, so a
+        # reset never wipes the bound topology.
+        self.policy.bind(topology)
         self.policy.reset()
         self.fault_config = config.fault_config
         self.link_model = config.link_model
@@ -524,6 +528,11 @@ class NocSimulator:
                 break
             _phase("age", self._age_phase)
             _phase("send", self._send_phase, round_index)
+            if self.policy.uses_pull:
+                # Push-pull rumor spreading (Doerr et al.): uninformed
+                # tiles also request the rumor.  Push-only policies skip
+                # the phase entirely (no RNG draws, bit-identical runs).
+                _phase("pull", self._pull_phase, round_index)
             if self.observer is not None:
                 self.observer.on_round_end(round_index)
 
@@ -737,6 +746,109 @@ class NocSimulator:
                     self.observer.on_transmission(
                         round_index, tile_id, dst, copy
                     )
+
+    def _latch_arrival(
+        self, arrival: int, dst: int, copy: Packet, was_upset: bool
+    ) -> None:
+        """Latch one in-flight copy for `dst`'s receive phase at `arrival`.
+
+        The pull phase emits traffic through this hook so backends can
+        route it into their own arrival structures (the fast backend
+        overrides it to append to its columnar pending chunks).
+        """
+        self._arrivals[arrival][dst].append((copy, was_upset))
+
+    def _pull_phase(self, round_index: int) -> None:
+        """Pull half of push-pull rounds (`ForwardingPolicy.uses_pull`).
+
+        Tiles are visited in id order.  Each live tile asks its policy
+        for pull targets (uninformed tiles typically draw one uniform
+        neighbor; informed ones return nothing without drawing).  A
+        request crosses the ``(tile, target)`` link as priced control
+        traffic; an alive, informed target answers by transmitting its
+        buffered packets back over ``(target, tile)`` exactly like send
+        phase traffic — copy per link, upset draw, latency latch, Eq. 3
+        energy.  This method is shared by both engine backends, so the
+        RNG stream and stats are bit-identical by construction.
+        """
+        policy = self.policy
+        stats = self.stats
+        request_bits = int(getattr(policy, "pull_request_bits", 0))
+        for tile_id in self._tile_ids:
+            tile = self.tiles[tile_id]
+            if not tile.alive:
+                continue
+            neighbors = self._neighbors[tile_id]
+            if not neighbors:
+                continue
+            targets = policy.pull_targets(
+                tile_id,
+                neighbors,
+                self.rng,
+                round_index=round_index,
+                informed=tile.informed,
+            )
+            if not targets:
+                continue
+            for target in targets:
+                if not self._link_alive(tile_id, target):
+                    # The request itself vanished on a dead link: no
+                    # bits made it onto the wire, nothing to answer.
+                    stats.record_pull_request_lost()
+                    continue
+                energy_per_bit = self.link_energy_overrides.get(
+                    (tile_id, target), self.link_model.energy_per_bit_j
+                )
+                responder = self.tiles[target]
+                packets = (
+                    responder.outgoing_packets() if responder.informed else []
+                )
+                stats.record_pull_request(
+                    request_bits,
+                    request_bits * energy_per_bit,
+                    answered=bool(packets),
+                )
+                if not packets:
+                    continue
+                sender_end = self.clocks[target].round_end(round_index)
+                for packet in packets:
+                    if not self._link_alive(target, tile_id):
+                        stats.record_dead_link()
+                        policy.on_dead_link(target, tile_id, round_index)
+                        if self.observer is not None:
+                            self.observer.on_dead_link_drop(
+                                round_index, target, tile_id
+                            )
+                        continue
+                    copy = packet.copy_for_link()
+                    was_upset = False
+                    if self.injector.upset_occurs():
+                        was_upset = True
+                        stats.upsets_injected += 1
+                        copy = copy.scrambled(
+                            self.injector.corrupt(copy.codeword)
+                        )
+                        if self.observer is not None:
+                            self.observer.on_upset_injected(
+                                round_index, target, tile_id, copy
+                            )
+                    arrival = self._arrival_round(
+                        target, tile_id, sender_end, round_index
+                    )
+                    self._latch_arrival(arrival, tile_id, copy, was_upset)
+                    energy_per_bit = self.link_energy_overrides.get(
+                        (target, tile_id), self.link_model.energy_per_bit_j
+                    )
+                    stats.record_transmission(
+                        round_index,
+                        copy.size_bits,
+                        copy.size_bits * energy_per_bit,
+                    )
+                    stats.pull_responses += 1
+                    if self.observer is not None:
+                        self.observer.on_transmission(
+                            round_index, target, tile_id, copy
+                        )
 
     def _arrival_round(
         self, src: int, dst: int, sender_end: float, round_index: int

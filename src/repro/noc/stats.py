@@ -51,6 +51,14 @@ class NetworkStats:
     #: Unique messages created by IPs (dedup keeps this flat under IP
     #: duplication — thesis §4.1.3).
     unique_messages_created: int = 0
+    #: Pull requests issued by uninformed tiles (push-pull policies only).
+    pull_requests: int = 0
+    #: Pull requests that went unanswered: dead request link, or a
+    #: responder that was crashed, uninformed, or had nothing buffered.
+    pull_requests_lost: int = 0
+    #: Response transmissions triggered by pull requests (these also
+    #: count in `transmissions_*` like any other link traversal).
+    pull_responses: int = 0
     #: Per-round delivered transmission counts (spread curves, Fig 3-1).
     per_round_transmissions: dict[int, int] = field(
         default_factory=lambda: defaultdict(int)
@@ -72,6 +80,25 @@ class NetworkStats:
     def record_dead_link(self) -> None:
         self.transmissions_attempted += 1
         self.dead_link_drops += 1
+
+    def record_pull_request(
+        self, size_bits: int, energy_j: float, answered: bool
+    ) -> None:
+        """One pull request crossed a live link (control traffic).
+
+        Request bits are priced through Eq. 3 like data bits but do not
+        count as `transmissions_*` — they carry no packet.
+        """
+        self.pull_requests += 1
+        self.bits_transmitted += size_bits
+        self.energy_j += energy_j
+        if not answered:
+            self.pull_requests_lost += 1
+
+    def record_pull_request_lost(self) -> None:
+        """One pull request died on a dead request link (no energy)."""
+        self.pull_requests += 1
+        self.pull_requests_lost += 1
 
     @property
     def loss_total(self) -> int:
@@ -113,5 +140,8 @@ class NetworkStats:
             "ttl_expirations": self.ttl_expirations,
             "deliveries": self.deliveries,
             "unique_messages_created": self.unique_messages_created,
+            "pull_requests": self.pull_requests,
+            "pull_requests_lost": self.pull_requests_lost,
+            "pull_responses": self.pull_responses,
             "delivery_ratio": self.delivery_ratio,
         }

@@ -69,6 +69,9 @@ class BatchDecisionView:
         message_ids: packet-key message-id half per row.
         buffer_occupancy: the owning tile's send-buffer size per row.
         buffer_capacity: the global buffer bound, or None when unbounded.
+        max_degree: the topology's maximum port count — the column width
+            a 2-D :meth:`ForwardingPolicy.decide_batch` matrix must have
+            (None on engines that never use the matrix form).
     """
 
     round_index: int
@@ -77,6 +80,7 @@ class BatchDecisionView:
     message_ids: np.ndarray
     buffer_occupancy: np.ndarray
     buffer_capacity: int | None
+    max_degree: int | None = None
 
     def __len__(self) -> int:
         return len(self.tile_ids)
@@ -162,6 +166,14 @@ class ForwardingPolicy:
     #: Registry name; subclasses registered via :func:`register_policy`.
     kind: str = ""
 
+    #: Does this policy run a *pull* phase?  When True the engine adds a
+    #: pull step after every send phase (uninformed tiles request the
+    #: rumor from neighbors chosen by :meth:`pull_targets`).  Push-only
+    #: policies keep the default False and their runs are bit-identical
+    #: to the pre-pull engine: the phase is skipped entirely and no RNG
+    #: draws happen.
+    uses_pull: bool = False
+
     # ------------------------------------------------------------- identity
 
     def spec_params(self) -> dict[str, Any]:
@@ -187,6 +199,17 @@ class ForwardingPolicy:
     def reset(self) -> None:
         """Clear all per-run state (engine calls this before round 0)."""
 
+    def bind(self, topology: Any) -> None:
+        """Receive the run's topology before :meth:`reset` is called.
+
+        Most policies are topology-oblivious and keep this no-op; route
+        computing policies (e.g. ``adaptive_route``) cache shortest-path
+        structure here.  The engine calls ``bind`` exactly once per run,
+        with the same :class:`repro.noc.topology.Topology` on every
+        backend.
+        """
+        del topology
+
     def on_round_begin(self, round_index: int) -> None:
         """A new gossip round is starting."""
 
@@ -196,7 +219,40 @@ class ForwardingPolicy:
         """`tile_id` received (and suppressed) an intact duplicate copy."""
 
     def on_dead_link(self, src: int, dst: int, round_index: int) -> None:
-        """A transmission from `src` vanished on the dead link to `dst`."""
+        """A transmission from `src` vanished on the dead link to `dst`.
+
+        Backend note: the object engine fires this hook interleaved with
+        the round's remaining forwarding decisions while the fast
+        backend's vectorised path fires it after computing *all* of the
+        round's decisions.  Policies that react to dead links must
+        therefore latch the reaction here and promote it at the next
+        :meth:`on_round_begin` — reacting mid-round would make results
+        backend-dependent.
+        """
+
+    # ------------------------------------------------------------------ pull
+
+    def pull_targets(
+        self,
+        tile_id: int,
+        neighbors: tuple[int, ...],
+        rng: np.random.Generator,
+        *,
+        round_index: int,
+        informed: bool,
+    ) -> tuple[int, ...]:
+        """Neighbors `tile_id` sends pull requests to this round.
+
+        Only consulted when :attr:`uses_pull` is True.  The engine calls
+        it once per live tile per round, tiles in id order; any RND draws
+        must come from `rng` (and informed tiles should return ``()``
+        *without drawing* so the stream stays backend-independent).  Each
+        returned neighbor receives one pull request: if it is alive,
+        informed and the links are up, it answers by transmitting its
+        buffered packets back to `tile_id`.
+        """
+        del tile_id, neighbors, rng, round_index, informed
+        return ()
 
     # ------------------------------------------------------------- decisions
 
@@ -253,6 +309,13 @@ class ForwardingPolicy:
         :meth:`decisions` — no draw for ``p[i] >= 1`` (deterministic
         transmit) or ``p[i] == 0`` (silenced), one ``rng.random(n_ports)``
         block in row order otherwise.
+
+        Deterministic policies may instead return a 2-D float matrix of
+        shape ``(len(batch), batch.max_degree)`` whose entries are
+        exactly 0.0 or 1.0 — per-row, per-port decisions with no coin
+        flips (ports past a tile's degree are ignored).  The engine
+        rejects fractional matrix entries loudly; per-port *probabilities*
+        have no draw-order-preserving vectorised form.
 
         Returning None (the default) means "no vectorised form": the
         engine falls back to calling :meth:`decisions` per row, so every

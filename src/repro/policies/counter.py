@@ -12,7 +12,6 @@ energy) while the spreading frontier keeps full redundancy.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -23,6 +22,7 @@ from repro.policies.base import (
     PolicyContext,
     register_policy,
 )
+from repro.policies.termination import FeedbackTermination
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.packet import Packet
@@ -44,19 +44,20 @@ class CounterGossipPolicy(ForwardingPolicy):
     kind = "counter"
 
     def __init__(self, k: int = 2, forward_probability: float = 1.0) -> None:
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
         if not 0.0 < forward_probability <= 1.0:
             raise ValueError(
                 "forward_probability must be in (0, 1], got "
                 f"{forward_probability}"
             )
-        self.k = int(k)
+        # The duplicate-counting stopping rule itself lives in the
+        # reusable FeedbackTermination component (shared with push-pull).
+        self._termination = FeedbackTermination(k)
         self.forward_probability = float(forward_probability)
-        #: (tile_id, packet key) -> intact duplicate copies received.
-        self._duplicates: dict[tuple[int, tuple[int, int]], int] = (
-            defaultdict(int)
-        )
+
+    @property
+    def k(self) -> int:
+        """Duplicate receptions after which a tile falls silent."""
+        return self._termination.k
 
     def spec_params(self) -> dict[str, Any]:
         return {"k": self.k, "forward_probability": self.forward_probability}
@@ -64,12 +65,13 @@ class CounterGossipPolicy(ForwardingPolicy):
     # ----------------------------------------------------------------- hooks
 
     def reset(self) -> None:
-        self._duplicates.clear()
+        self._termination.reset()
 
     def on_duplicate_received(
         self, tile_id: int, packet: "Packet", round_index: int
     ) -> None:
-        self._duplicates[(tile_id, packet.key)] += 1
+        del round_index
+        self._termination.observe(tile_id, packet.key)
 
     def on_duplicates_batch(
         self,
@@ -79,22 +81,18 @@ class CounterGossipPolicy(ForwardingPolicy):
         round_index: int,
     ) -> bool:
         del round_index
-        duplicates = self._duplicates
-        for tile_id, source, message_id in zip(
-            tile_ids.tolist(), sources.tolist(), message_ids.tolist()
-        ):
-            duplicates[(tile_id, (source, message_id))] += 1
+        self._termination.observe_batch(tile_ids, sources, message_ids)
         return True
 
     # ------------------------------------------------------------- decisions
 
     def duplicates_seen(self, tile_id: int, key: tuple[int, int]) -> int:
         """Intact duplicate copies of `key` received at `tile_id` so far."""
-        return self._duplicates.get((tile_id, key), 0)
+        return self._termination.duplicates_seen(tile_id, key)
 
     def is_silenced(self, tile_id: int, key: tuple[int, int]) -> bool:
         """Has `tile_id` written the death certificate for `key`?"""
-        return self.duplicates_seen(tile_id, key) >= self.k
+        return self._termination.is_silenced(tile_id, key)
 
     def decide(
         self, packet: "Packet", link: tuple[int, int], ctx: PolicyContext
@@ -110,18 +108,11 @@ class CounterGossipPolicy(ForwardingPolicy):
         # Silenced (tile, message) rows get p = 0 (no draw, matching the
         # draw-free `decide` early-out); live rows behave like Bernoulli.
         out = np.full(len(batch), self.forward_probability)
-        if self._duplicates:
-            get = self._duplicates.get
-            k = self.k
-            for row, (tile_id, source, message_id) in enumerate(
-                zip(
-                    batch.tile_ids.tolist(),
-                    batch.sources.tolist(),
-                    batch.message_ids.tolist(),
-                )
-            ):
-                if get((tile_id, (source, message_id)), 0) >= k:
-                    out[row] = 0.0
+        silenced = self._termination.silenced_rows(
+            batch.tile_ids, batch.sources, batch.message_ids
+        )
+        if silenced:
+            out[silenced] = 0.0
         return out
 
     def expected_copies_per_round(self, degree: int) -> float:

@@ -198,6 +198,71 @@ class TestChaos:
             build_parser().parse_args(["chaos", "--kinds", "solar_storm"])
 
 
+class TestFrontier:
+    _FAST = [
+        "frontier",
+        "--side",
+        "3",
+        "--upsets",
+        "0",
+        "0.4",
+        "--link-crashes",
+        "2",
+        "--repetitions",
+        "2",
+        "--max-rounds",
+        "32",
+    ]
+
+    def test_prints_the_paired_comparison(self, capsys):
+        assert main(self._FAST) == 0
+        output = capsys.readouterr().out
+        assert "protocol frontier" in output
+        assert "fault axis: upset" in output
+        assert "fault axis: link_crash" in output
+        for name in ("bernoulli", "push_pull", "push_pull(feedback_k=2)",
+                     "adaptive_route"):
+            assert name in output
+
+    def test_fast_backend_matches_object(self, capsys):
+        assert main(self._FAST) == 0
+        on_object = capsys.readouterr().out
+        assert main(self._FAST + ["--backend", "fast"]) == 0
+        on_fast = capsys.readouterr().out
+        assert on_object == on_fast
+
+    def test_metrics_out_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "frontier.json"
+        assert main(self._FAST + ["--metrics-out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["experiment"] == "protocol_frontier"
+        points = document["points"]
+        assert {p["protocol"] for p in points} >= {
+            "push_pull", "adaptive_route",
+        }
+        assert all("deadline_rate" in p for p in points)
+
+    def test_certify_leg_prints_the_envelope(self, capsys):
+        code = main(
+            self._FAST
+            + [
+                "--certify",
+                "--certify-levels",
+                "0",
+                "--certify-max-rounds",
+                "48",
+                "--max-replicates",
+                "8",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "certified protocol-frontier envelope" in output
+        assert "certified thresholds" in output
+
+
 class TestPolicies:
     def test_list_names_all_registered_kinds(self, capsys):
         assert main(["policies", "list"]) == 0

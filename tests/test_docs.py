@@ -61,6 +61,7 @@ def test_docs_pages_exist():
         "runners.md",
         "policies.md",
         "protocol.md",
+        "protocols-frontier.md",
         "service.md",
         "stats.md",
     }
