@@ -1,0 +1,57 @@
+"""Benchmark: the self-healing execution layer under sustained attack.
+
+The ``chaos``-marked smoke test is the CI gate: a worker-kill campaign
+SIGKILLs a deterministic fraction of a 4-worker fleet mid-task and the
+sweep must still complete bit-identical to its undisturbed serial twin
+with zero lost tasks — seconds of wall-clock, fully seeded.
+
+The benchmark leg measures what that resilience costs: one undisturbed
+campaign timed against a kill-storm campaign over the same seeds, with
+the supervisor's rebuild/retry tallies reported per cell.  The overhead
+of surviving the storm is pool rebuild latency plus the resubmitted
+work — the results themselves are identical by construction.
+"""
+
+import pytest
+
+from repro.service.chaos import run_campaign, spec_for
+
+#: Campaign shape shared by the gate and the benchmark leg: large enough
+#: that a 0.5 kill fraction lands several strikes, small enough for CI.
+CAMPAIGN = dict(n_tasks=10, side=3, max_rounds=24, n_workers=4, seed=7)
+
+
+def _campaign(kill_fraction: float):
+    return run_campaign(
+        spec_for("worker_kill", kill_fraction, chaos_seed=7), **CAMPAIGN
+    )
+
+
+@pytest.mark.chaos
+@pytest.mark.smoke
+def test_kill_storm_smoke_bit_identical():
+    """The CI gate: >= 3 SIGKILLed workers, zero lost tasks, identical."""
+    outcome = _campaign(0.5)
+    assert outcome.strikes >= 3
+    assert outcome.pool_rebuilds >= 1
+    assert outcome.lost == 0
+    assert outcome.identical
+    assert outcome.intact
+
+
+@pytest.mark.chaos
+def test_survival_overhead(benchmark, shape_report):
+    clean = _campaign(0.0)
+    assert clean.strikes == 0 and clean.intact
+    stormy = _campaign(0.5)
+    assert stormy.intact
+    # Identical results either way; the storm only costs time.
+    assert stormy.results == clean.results
+
+    shape_report["chaos_service_kill_storm"] = {
+        "strikes": stormy.strikes,
+        "pool_rebuilds": stormy.pool_rebuilds,
+        "tasks_retried": stormy.tasks_retried,
+        "lost": stormy.lost,
+    }
+    benchmark(_campaign, 0.5)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven commands cover the common workflows without writing a script:
+Twelve commands cover the common workflows without writing a script:
 
 * ``info`` — version and package map;
 * ``spread`` — broadcast a rumor on a topology, print the saturation
@@ -29,6 +29,12 @@ Eleven commands cover the common workflows without writing a script:
   protocol's chaos-tolerance envelope
   (``repro.experiments.protocol_frontier``, see
   ``docs/protocols-frontier.md``);
+* ``chaos-service`` — turn the fault injection on the harness itself:
+  deterministic injectors SIGKILL workers mid-task, hang tasks past the
+  timeout and corrupt result payloads, and the *service's* tolerance
+  envelope ("a disturbed campaign completes bit-identically with zero
+  lost tasks") is certified cell by cell (``repro.service.chaos``, see
+  ``docs/operations.md``);
 * ``db`` — inspect a :class:`repro.service.ResultsDB` results database:
   ``repro db query`` (read-only SQL), ``repro db export`` (a table as
   JSON/CSV) and ``repro db gc`` (prune old runs) — see
@@ -36,9 +42,12 @@ Eleven commands cover the common workflows without writing a script:
 
 Every sweep-running command shares one execution flag set, declared once
 on a parent parser: ``--workers``, ``--cache-dir``, ``--db`` (write
-completed tasks through to a results database), ``--backend`` and
-``--metrics-out`` where the harness supports them.  The flags map 1:1
-onto :class:`repro.experiments.common.ExperimentOptions`.
+completed tasks through to a results database), the retry/timeout trio
+``--max-attempts``/``--retry-backoff``/``--task-timeout`` (validated up
+front: non-positive budgets are argparse errors, not mid-sweep
+crashes), plus ``--backend`` and ``--metrics-out`` where the harness
+supports them.  The flags map 1:1 onto
+:class:`repro.experiments.common.ExperimentOptions`.
 """
 
 from __future__ import annotations
@@ -101,6 +110,9 @@ _EXECUTION_DEFAULTS = {
     "cache_dir": None,
     "db": None,
     "backend": "object",
+    "max_attempts": 1,
+    "retry_backoff": 0.5,
+    "task_timeout": None,
 }
 
 
@@ -109,7 +121,7 @@ def _sweep_options(args: argparse.Namespace, **extra):
 
     `extra` carries per-command knobs (``backend=``,
     ``collect_metrics=``) on top of the universal
-    ``--workers/--cache-dir/--db`` trio.
+    ``--workers/--cache-dir/--db`` trio and the retry/timeout knobs.
     """
     # Deferred: keep `repro probe --help` etc. from importing the whole
     # experiments package.
@@ -119,6 +131,9 @@ def _sweep_options(args: argparse.Namespace, **extra):
         n_workers=args.workers,
         cache_dir=args.cache_dir,
         db=args.db,
+        max_attempts=args.max_attempts,
+        retry_backoff_s=args.retry_backoff,
+        task_timeout_s=args.task_timeout,
         **extra,
     )
 
@@ -157,7 +172,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("packages: core noc policies metrics faults crc bus energy apps "
           "mp3 diversity experiments runners service stats")
     print("commands: info spread probe mp3 figure policies profile chaos "
-          "certify frontier db")
+          "certify chaos-service frontier db")
     return 0
 
 
@@ -224,7 +239,10 @@ def cmd_spread(args: argparse.Namespace) -> int:
 
 
 def cmd_probe(args: argparse.Namespace) -> int:
-    _notice_ignored(args, "probe", "workers", "cache_dir", "db")
+    _notice_ignored(
+        args, "probe", "workers", "cache_dir", "db",
+        "max_attempts", "retry_backoff", "task_timeout",
+    )
     topology = _build_topology(args.topology, args.side)
     fault_config = _fault_config(args)
     probability = delivery_probability(
@@ -276,7 +294,10 @@ def cmd_mp3(args: argparse.Namespace) -> int:
     from repro.apps.base import run_on_noc
     from repro.mp3 import Mp3Decoder, ParallelMp3App, reconstruction_snr_db
 
-    _notice_ignored(args, "mp3", "workers", "cache_dir", "db")
+    _notice_ignored(
+        args, "mp3", "workers", "cache_dir", "db",
+        "max_attempts", "retry_backoff", "task_timeout",
+    )
     app = ParallelMp3App(
         n_frames=args.frames,
         granule=args.granule,
@@ -513,6 +534,53 @@ def cmd_certify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos_service(args: argparse.Namespace) -> int:
+    from repro.service import chaos
+
+    ignored = [
+        "--" + flag.replace("_", "-")
+        for flag in ("cache_dir", "retry_backoff", "task_timeout")
+        if getattr(args, flag) != _EXECUTION_DEFAULTS[flag]
+    ]
+    if ignored:
+        print(
+            "note: chaos-service provisions its own disturbed runners "
+            f"(timeouts derive from --hang-s); {', '.join(ignored)} "
+            "ignored",
+            file=sys.stderr,
+        )
+    envelope = chaos.certify_service_envelope(
+        injectors=tuple(args.injectors),
+        levels=tuple(args.levels),
+        n_tasks=args.tasks,
+        side=args.side,
+        max_rounds=args.max_rounds,
+        forward_probability=args.p,
+        hang_s=args.hang_s,
+        n_workers=args.workers,
+        max_attempts=args.max_attempts,
+        target=args.target,
+        indifference=args.indifference,
+        alpha=args.alpha,
+        beta=args.beta,
+        batch_size=args.batch_size,
+        max_replicates=args.max_replicates,
+        seed=args.seed,
+        backend=args.backend,
+        db=args.db,
+    )
+    print(
+        f"chaos-service: attacking a {args.workers}-worker fleet with "
+        f"{args.tasks}-task campaigns, budget {args.max_replicates} "
+        "replicates/cell"
+    )
+    print(chaos.format_service_envelope(envelope))
+    if args.db is not None:
+        print(f"certificates recorded in {args.db} "
+              "(repro db export --table certificates)")
+    return 0
+
+
 def cmd_frontier(args: argparse.Namespace) -> int:
     from repro.experiments import protocol_frontier
 
@@ -581,7 +649,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.experiments.grid_spread import _BroadcastSeed
     from repro.metrics import PhaseProfiler
 
-    _notice_ignored(args, "profile", "workers", "cache_dir", "db")
+    _notice_ignored(
+        args, "profile", "workers", "cache_dir", "db",
+        "max_attempts", "retry_backoff", "task_timeout",
+    )
     topology = _build_topology(args.topology, args.side)
     profiler = PhaseProfiler()
     n = topology.n_tiles
@@ -676,6 +747,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if not value >= 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _writable_cache_dir(text: str) -> str:
     """Validate --cache-dir up front: create it and check writability.
 
@@ -732,6 +817,32 @@ def _execution_parent() -> argparse.ArgumentParser:
         "provenance, per-round metrics — in this SQLite results "
         "database (repro.service.ResultsDB; created on first use, "
         "query later with 'repro db query')",
+    )
+    group.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="times a failing task is tried before the sweep aborts "
+        "(default: 1, fail fast); also the fleet supervisor's "
+        "poison-conviction bar (see docs/operations.md)",
+    )
+    group.add_argument(
+        "--retry-backoff",
+        type=_nonnegative_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base delay before retrying a failed task, doubled per "
+        "attempt (default: 0.5)",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget on the pool path; a task "
+        "running longer counts as a failure and is retried "
+        "(default: no timeout)",
     )
     return parent
 
@@ -961,6 +1072,85 @@ def build_parser() -> argparse.ArgumentParser:
         "'undecided' (default: 64)",
     )
     certify.set_defaults(handler=cmd_certify)
+
+    chaos_service = subparsers.add_parser(
+        "chaos-service",
+        help="attack the execution layer itself — SIGKILL workers, hang "
+        "tasks, corrupt payloads — and certify the service's tolerance "
+        "envelope (repro.service.chaos)",
+        parents=[execution, backend],
+    )
+    chaos_service.add_argument(
+        "--injectors",
+        nargs="+",
+        choices=("worker_kill", "task_hang", "corrupt_payload"),
+        default=["worker_kill", "task_hang", "corrupt_payload"],
+        help="fault injectors to certify (default: all three)",
+    )
+    chaos_service.add_argument(
+        "--levels",
+        nargs="+",
+        type=float,
+        default=[0.0, 0.25, 0.5],
+        help="injection intensity grid per injector — the fraction of a "
+        "campaign's tasks planned to misbehave (default: 0 0.25 0.5)",
+    )
+    chaos_service.add_argument(
+        "--tasks",
+        type=_positive_int,
+        default=6,
+        help="tasks per replicate campaign (default: 6)",
+    )
+    chaos_service.add_argument("--side", type=_positive_int, default=3)
+    chaos_service.add_argument("--p", type=float, default=0.75)
+    chaos_service.add_argument("--seed", type=int, default=0)
+    chaos_service.add_argument(
+        "--max-rounds", type=_positive_int, default=24
+    )
+    chaos_service.add_argument(
+        "--hang-s",
+        type=_positive_float,
+        default=2.0,
+        help="hang duration of the task_hang injector; the disturbed "
+        "runner's task timeout derives from it (default: 2.0)",
+    )
+    chaos_service.add_argument(
+        "--target",
+        type=float,
+        default=0.9,
+        help="claimed P(campaign bit-identical, zero lost tasks) "
+        "(default: 0.9)",
+    )
+    chaos_service.add_argument(
+        "--indifference",
+        type=float,
+        default=0.2,
+        help="SPRT indifference band below --target (default: 0.2)",
+    )
+    chaos_service.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="false-accept bound (default: 0.05)",
+    )
+    chaos_service.add_argument(
+        "--beta", type=float, default=0.05,
+        help="false-reject bound (default: 0.05)",
+    )
+    chaos_service.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=4,
+        help="replicate campaigns per certification batch (default: 4)",
+    )
+    chaos_service.add_argument(
+        "--max-replicates",
+        type=_positive_int,
+        default=16,
+        help="per-cell replicate budget; an undecided test certifies "
+        "'undecided' (default: 16)",
+    )
+    chaos_service.set_defaults(
+        handler=cmd_chaos_service, workers=4, max_attempts=5
+    )
 
     frontier = subparsers.add_parser(
         "frontier",

@@ -72,6 +72,17 @@ class ExperimentOptions:
             :class:`repro.service.ResultsDB` or a path to one.  Every
             completed task is recorded there while the pickle cache
             stays the hot read path (see ``docs/service.md``).
+        max_attempts: times a failing task is tried before the sweep
+            aborts (default 1: fail fast, the historical behavior).
+            Also the fleet supervisor's poison-conviction bar (see
+            ``docs/operations.md``).
+        retry_backoff_s: base delay before a retry (exponential).
+        task_timeout_s: per-task wall-clock budget on the pool path;
+            ``None`` (the default) disables timeouts.
+
+    Like ``n_workers``/``cache_dir``, the retry/timeout knobs are
+    ignored when a pre-built ``runner`` is set — the runner's own
+    configuration wins.
 
     The object is frozen: share it freely across harness calls.  It is
     never hashed into a task, so two sweeps differing only in options
@@ -86,6 +97,9 @@ class ExperimentOptions:
     backend: str = "object"
     collect_metrics: bool = False
     db: "ResultsDB | str | None" = None
+    max_attempts: int = 1
+    retry_backoff_s: float = 0.5
+    task_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.runner is not None and not isinstance(
@@ -98,6 +112,19 @@ class ExperimentOptions:
         if self.n_workers < 1:
             raise ValueError(
                 f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be > 0 or None, got "
+                f"{self.task_timeout_s}"
             )
         from repro.noc.backends import KNOWN_BACKENDS
 
@@ -121,7 +148,12 @@ class ExperimentOptions:
                 self.runner.db = as_results_db(self.db)
             return self.runner
         return SweepRunner(
-            n_workers=self.n_workers, cache_dir=self.cache_dir, db=self.db
+            n_workers=self.n_workers,
+            cache_dir=self.cache_dir,
+            db=self.db,
+            max_attempts=self.max_attempts,
+            retry_backoff_s=self.retry_backoff_s,
+            task_timeout_s=self.task_timeout_s,
         )
 
     def with_runner(self, runner: SweepRunner) -> "ExperimentOptions":

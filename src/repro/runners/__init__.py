@@ -13,10 +13,16 @@ sweeps of independent simulations; this package runs them fast:
   every completed cell (interrupted campaigns resume from the cache);
 * :class:`ResultCache` — the atomic, content-addressed pickle store;
 * :class:`RetryExhaustedError` — raised when a task fails on every
-  allowed attempt.
+  allowed attempt;
+* :class:`FleetSupervisor` / :class:`PoisonedTask`
+  (``repro.runners.supervisor``) — the self-healing pool layer: worker
+  crashes rebuild the pool and resubmit in-flight work, tasks that
+  repeatedly crash their worker are quarantined as *poisoned*, and a
+  persistently unhealthy pool degrades to serial execution.
 
 See ``docs/runners.md`` for the seeding scheme, the cache-key contract,
-worker-count guidance and the retry/timeout semantics.
+worker-count guidance and the retry/timeout semantics, and
+``docs/operations.md`` for the failure-mode runbook.
 """
 
 from repro.runners.cache import ResultCache
@@ -29,9 +35,13 @@ from repro.runners.runner import (
     TaskCompletion,
     spawn_seeds,
 )
+from repro.runners.supervisor import POISONED, FleetSupervisor, PoisonedTask
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "POISONED",
+    "FleetSupervisor",
+    "PoisonedTask",
     "ResultCache",
     "RetryExhaustedError",
     "SimTask",

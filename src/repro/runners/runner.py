@@ -25,6 +25,13 @@ forward probabilities — whose individual simulations are independent.
   Results are **checkpointed incrementally**: each completed cell is
   written to the cache the moment it finishes, so an interrupted
   campaign resumes without rerunning finished work;
+* **self-healing** — the pool path is driven by
+  :class:`repro.runners.supervisor.FleetSupervisor`: a worker death
+  (``BrokenProcessPool``) rebuilds the pool with capped exponential
+  backoff and resubmits the in-flight tasks, a task that repeatedly
+  crashes its worker is quarantined as *poisoned* instead of aborting
+  its siblings, and a persistently unhealthy pool degrades to serial
+  in-process execution with a loud warning (see ``docs/operations.md``);
 * **recorded** — with a ``db`` (a :class:`repro.service.ResultsDB` or a
   path to one), every completed task — executed or served from cache —
   is written through to the SQLite results/provenance store under the
@@ -44,8 +51,6 @@ from __future__ import annotations
 import importlib
 import random
 import time
-import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
@@ -192,12 +197,16 @@ class TaskCompletion:
         index: the task's position in the submitted batch (results keep
             this order; completions may arrive in any order).
         task: the completed :class:`SimTask`, seed filled in.
-        value: its result.
-        source: ``"executed"`` (a simulation ran) or ``"cache"`` (served
-            from the on-disk pickle cache).
+        value: its result — or a
+            :class:`repro.runners.supervisor.PoisonedTask` diagnostics
+            record when ``source == "poisoned"``.
+        source: ``"executed"`` (a simulation ran), ``"cache"`` (served
+            from the on-disk pickle cache) or ``"poisoned"`` (the task
+            was quarantined after repeatedly crashing its worker; its
+            value is the diagnostics record, never cached).
         duration_s: wall-clock of the successful attempt — measured
             around the call on the serial path, submit-to-completion on
-            the pool path; ``None`` for cache hits.
+            the pool path; ``None`` for cache hits and poisoned tasks.
     """
 
     index: int
@@ -253,6 +262,13 @@ class SweepRunner:
             is reproducible; it never touches the module-global
             :mod:`random` state (and simulation results never depend on
             it either way).
+        max_pool_rebuilds: worker-pool breaks (``BrokenProcessPool``)
+            tolerated per batch before the supervisor declares the pool
+            unhealthy and degrades to serial in-process execution
+            (default 5).  ``0`` degrades on the first break.
+        rebuild_backoff_s: base delay before rebuilding a broken pool;
+            break *k* waits ``rebuild_backoff_s * 2**(k-1)`` seconds,
+            capped at 30 s.
         db: write-through results/provenance store — a
             :class:`repro.service.ResultsDB` or a path to open one.
             ``None`` (the default) records nothing.
@@ -264,6 +280,8 @@ class SweepRunner:
             misses); a warm-cache rerun leaves this at 0.
         cache_hits: tasks satisfied from the on-disk cache.
         tasks_retried: failed/timed-out attempts that were retried.
+        pool_rebuilds: worker-pool breaks survived by rebuilding.
+        tasks_poisoned: tasks quarantined after crashing their workers.
     """
 
     def __init__(
@@ -277,6 +295,8 @@ class SweepRunner:
         retry_jitter: float = 0.25,
         task_timeout_s: float | None = None,
         retry_seed: int | None = None,
+        max_pool_rebuilds: int = 5,
+        rebuild_backoff_s: float = 0.5,
         db: "ResultsDB | str | None" = None,
         run_label: str = "",
     ) -> None:
@@ -294,6 +314,14 @@ class SweepRunner:
             raise ValueError(
                 f"task_timeout_s must be > 0 or None, got {task_timeout_s}"
             )
+        if max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+            )
+        if rebuild_backoff_s < 0:
+            raise ValueError(
+                f"rebuild_backoff_s must be >= 0, got {rebuild_backoff_s}"
+            )
         self.n_workers = n_workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.base_seed = base_seed
@@ -301,6 +329,8 @@ class SweepRunner:
         self.retry_backoff_s = retry_backoff_s
         self.retry_jitter = retry_jitter
         self.task_timeout_s = task_timeout_s
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.rebuild_backoff_s = rebuild_backoff_s
         # Jitter draws come from a dedicated, seedable stream: retry
         # timing is reproducible for seeded sweeps and never perturbs
         # (or is perturbed by) the module-global `random` state.
@@ -317,6 +347,8 @@ class SweepRunner:
         self.tasks_executed = 0
         self.cache_hits = 0
         self.tasks_retried = 0
+        self.pool_rebuilds = 0
+        self.tasks_poisoned = 0
 
     # ------------------------------------------------------------------ api
 
@@ -373,19 +405,25 @@ class SweepRunner:
             """Checkpoint, record and deliver one finished task."""
             if completion.source == "cache":
                 self.cache_hits += 1
+            elif completion.source == "poisoned":
+                # Quarantine diagnostics are never cached: a rerun must
+                # retry the task, not replay its conviction.
+                pass
             else:
                 self.tasks_executed += 1
                 if key is not None and self.cache is not None:
                     self.cache.put(key, completion.value)
             results[completion.index] = completion.value
             if recording:
+                poisoned = completion.source == "poisoned"
                 self.db.record_task(
                     run_id,
                     index_base + completion.index,
                     completion.task,
                     completion.value,
-                    source=completion.source,
+                    source="executed" if poisoned else completion.source,
                     duration_s=completion.duration_s,
+                    status="poisoned" if poisoned else "ok",
                 )
             if on_result is not None:
                 on_result(completion)
@@ -414,6 +452,13 @@ class SweepRunner:
                     self._execute_serial(pending, emit)
                 else:
                     self._execute_pooled(pending, emit)
+        except KeyboardInterrupt:
+            # Completed cells were flushed through `emit` as they
+            # landed; stamp the campaign row so a resumed run can tell
+            # an interrupt from a genuine failure.
+            if owns_run:
+                self.db.finish_run(run_id, status="interrupted")
+            raise
         except BaseException:
             if owns_run:
                 self.db.finish_run(run_id, status="failed")
@@ -535,99 +580,15 @@ class SweepRunner:
     ) -> None:
         """Process-pool execution with retry, timeout and checkpointing.
 
-        Falls back to serial execution in environments without working
-        process pools (no /dev/shm, missing ``sem_open``, ...).
+        Delegated to :class:`repro.runners.supervisor.FleetSupervisor`,
+        which additionally survives worker crashes (pool rebuilds with
+        capped backoff), quarantines poison tasks and degrades to serial
+        execution when the pool is unavailable or persistently
+        unhealthy.
         """
-        try:
-            if self.task_timeout_s is None:
-                workers = min(self.n_workers, len(pending))
-            else:
-                # Abandoned (timed-out) workers stay busy until their
-                # task finishes on its own; clamping to the batch size
-                # would let one hung task starve its own retries.
-                workers = self.n_workers
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                self._drive_pool(pool, pending, emit)
-        except (OSError, PermissionError, ImportError) as error:
-            warnings.warn(
-                f"process pool unavailable ({error}); running sweep serially",
-                RuntimeWarning,
-                stacklevel=4,
-            )
-            self._execute_serial(pending, emit)
+        from repro.runners.supervisor import FleetSupervisor
 
-    def _drive_pool(
-        self,
-        pool: ProcessPoolExecutor,
-        pending: list[tuple[int, SimTask, str | None]],
-        emit: Callable[[TaskCompletion, str | None], None],
-    ) -> None:
-        timeout = self.task_timeout_s
-        #: future -> (index, task, key, attempt, deadline, submitted_at)
-        inflight: dict[
-            Any, tuple[int, SimTask, str | None, int, float | None, float]
-        ] = {}
-
-        def submit(
-            index: int, task: SimTask, key: str | None, attempt: int
-        ) -> None:
-            future = pool.submit(_execute_task, task)
-            now = time.monotonic()
-            deadline = now + timeout if timeout is not None else None
-            inflight[future] = (index, task, key, attempt, deadline, now)
-
-        for index, task, key in pending:
-            submit(index, task, key, attempt=1)
-
-        while inflight:
-            poll = 0.1 if timeout is not None else None
-            done, _ = wait(
-                inflight, timeout=poll, return_when=FIRST_COMPLETED
-            )
-            now = time.monotonic()
-            for future in done:
-                index, task, key, attempt, _, submitted = inflight.pop(future)
-                error = future.exception()
-                if error is None:
-                    emit(
-                        TaskCompletion(
-                            index,
-                            task,
-                            future.result(),
-                            "executed",
-                            now - submitted,
-                        ),
-                        key,
-                    )
-                    continue
-                if isinstance(error, (OSError, PermissionError, ImportError)):
-                    # Pool infrastructure trouble, not a task failure:
-                    # surface it so _execute_pooled degrades to serial.
-                    raise error
-                if attempt >= self.max_attempts:
-                    raise RetryExhaustedError(task, attempt, error) from error
-                self.tasks_retried += 1
-                time.sleep(self._backoff_delay(attempt))
-                submit(index, task, key, attempt + 1)
-            if timeout is None:
-                continue
-            for future in list(inflight):
-                index, task, key, attempt, deadline, _ = inflight[future]
-                if deadline is None or now < deadline or future in done:
-                    continue
-                if future.running() or not future.cancel():
-                    # Can't preempt a running worker: abandon the future
-                    # (its eventual result is discarded) and retry the
-                    # task on a fresh submission.
-                    inflight.pop(future)
-                    future.add_done_callback(lambda f: f.exception())
-                else:
-                    inflight.pop(future)
-                if attempt >= self.max_attempts:
-                    raise RetryExhaustedError(task, attempt, None)
-                self.tasks_retried += 1
-                time.sleep(self._backoff_delay(attempt))
-                submit(index, task, key, attempt + 1)
+        FleetSupervisor(self).execute(pending, emit)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = self.cache.root if self.cache is not None else None

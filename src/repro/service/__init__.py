@@ -12,19 +12,41 @@ This package is the service layer in front of the sweep machinery
   over one shared runner: ``submit``/``status``/``cancel``/``stream``
   with priorities, per-task completion streaming and checkpoint-backed
   resume.
+* the chaos harness (``repro.service.chaos``) — deterministic fault
+  injectors (worker kills, task hangs, corrupted payloads) that attack
+  the supervised worker fleet, plus :func:`certify_service_envelope`,
+  which certifies the service's own tolerance envelope through the
+  sequential statistics layer (``repro chaos-service``).
 
-See ``docs/service.md`` for the schema, job lifecycle and SQL cookbook.
+See ``docs/service.md`` for the schema, job lifecycle and SQL cookbook,
+and ``docs/operations.md`` for the failure-mode runbook.
 """
 
+from repro.service.chaos import (
+    INJECTORS,
+    CampaignOutcome,
+    ChaosSpec,
+    ServiceEnvelope,
+    certify_service_envelope,
+    format_service_envelope,
+    run_campaign,
+)
 from repro.service.db import ResultsDB, as_results_db
 from repro.service.jobs import JobQueue, JobState, JobStatus
 from repro.service.schema import SCHEMA_VERSION
 
 __all__ = [
+    "INJECTORS",
     "SCHEMA_VERSION",
+    "CampaignOutcome",
+    "ChaosSpec",
     "JobQueue",
     "JobState",
     "JobStatus",
     "ResultsDB",
+    "ServiceEnvelope",
     "as_results_db",
+    "certify_service_envelope",
+    "format_service_envelope",
+    "run_campaign",
 ]

@@ -25,7 +25,11 @@ Division of labor:
 Writes happen in the coordinating process only (workers return results
 to the parent, which records them), so contention is low; WAL mode plus
 a generous ``busy_timeout`` make concurrent campaigns from separate
-processes safe.
+processes safe.  On top of the SQLite-level timeout, every write
+retries a transient ``sqlite3.OperationalError`` ("database is locked"
+/ "database is busy") a bounded number of times with exponential
+backoff — a campaign row is not lost to a momentarily greedy sibling
+writer (see ``docs/operations.md``).
 """
 
 from __future__ import annotations
@@ -129,6 +133,16 @@ class ResultsDB:
         timeout_s: how long a writer waits on a locked database before
             failing; generous by default because WAL writers only block
             one another for the duration of a single row append.
+        lock_retries: times a write that still fails with a transient
+            "database is locked"/"busy" ``OperationalError`` (after the
+            SQLite-level `timeout_s` expired) is retried before the
+            error propagates.
+        lock_backoff_s: base delay between lock retries; retry *k*
+            waits ``lock_backoff_s * 2**(k-1)`` seconds.
+
+    Attributes:
+        lock_retries_used: transient lock errors absorbed by retrying —
+            a contention gauge for operators (``docs/operations.md``).
 
     The instance is thread-safe (one internal lock around its
     connection) and usable from several processes at once thanks to WAL
@@ -136,8 +150,22 @@ class ResultsDB:
     """
 
     def __init__(
-        self, path: str | os.PathLike[str], *, timeout_s: float = 30.0
+        self,
+        path: str | os.PathLike[str],
+        *,
+        timeout_s: float = 30.0,
+        lock_retries: int = 5,
+        lock_backoff_s: float = 0.05,
     ) -> None:
+        if lock_retries < 0:
+            raise ValueError(f"lock_retries must be >= 0, got {lock_retries}")
+        if lock_backoff_s < 0:
+            raise ValueError(
+                f"lock_backoff_s must be >= 0, got {lock_backoff_s}"
+            )
+        self.lock_retries = lock_retries
+        self.lock_backoff_s = lock_backoff_s
+        self.lock_retries_used = 0
         self.path = str(path)
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
@@ -174,14 +202,39 @@ class ResultsDB:
 
     # ------------------------------------------------------------ recording
 
+    def _write(self, operation: Any) -> Any:
+        """Run `operation` in a write transaction, retrying lock errors.
+
+        A transient ``sqlite3.OperationalError`` ("database is locked" /
+        "database is busy" — a sibling process holding the write lock
+        past our ``timeout_s``) rolls the transaction back and retries
+        with bounded exponential backoff; any other operational error,
+        or exhaustion of the `lock_retries` budget, propagates.  The
+        transaction context means a retried `operation` always starts
+        from a clean slate, so retries cannot double-append rows.
+        """
+        for attempt in range(self.lock_retries + 1):
+            try:
+                with self._lock, self._connection:
+                    return operation()
+            except sqlite3.OperationalError as error:
+                message = str(error).lower()
+                transient = "locked" in message or "busy" in message
+                if not transient or attempt >= self.lock_retries:
+                    raise
+                self.lock_retries_used += 1
+                time.sleep(self.lock_backoff_s * (2**attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def begin_run(self, label: str = "", n_tasks: int = 0) -> int:
         """Open a campaign row; returns its ``run_id``."""
-        with self._lock, self._connection:
-            cursor = self._connection.execute(
+        cursor = self._write(
+            lambda: self._connection.execute(
                 "INSERT INTO runs (label, status, n_tasks, started_at) "
                 "VALUES (?, 'running', ?, ?)",
                 (label, n_tasks, time.time()),
             )
+        )
         return int(cursor.lastrowid)
 
     def finish_run(
@@ -197,7 +250,7 @@ class ResultsDB:
         up front; passing `n_tasks` updates the count recorded by
         :meth:`begin_run` at close time.
         """
-        with self._lock, self._connection:
+        def operation() -> None:
             if n_tasks is None:
                 self._connection.execute(
                     "UPDATE runs SET status = ?, finished_at = ? "
@@ -211,6 +264,8 @@ class ResultsDB:
                     (status, time.time(), n_tasks, run_id),
                 )
 
+        self._write(operation)
+
     def record_task(
         self,
         run_id: int,
@@ -220,6 +275,7 @@ class ResultsDB:
         *,
         source: str = "executed",
         duration_s: float | None = None,
+        status: str = "ok",
     ) -> int:
         """Append one completed task: result, provenance and metrics.
 
@@ -229,20 +285,25 @@ class ResultsDB:
         among the parameters is interned into ``configs`` keyed by its
         ``cache_token``; any :class:`repro.metrics.RunMetrics` in the
         result fans out into ``round_metrics`` and ``scenario_drops``
-        rows.  Returns the new ``task_id``.
+        rows.  `status` is ``"ok"`` for ordinary completions or
+        ``"poisoned"`` for tasks quarantined by the fleet supervisor
+        (their `value` is the diagnostics record).  Returns the new
+        ``task_id``.
         """
         params = dict(task.params)
         config = _find_config(params)
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        with self._lock, self._connection:
+
+        def operation() -> int:
             token = None
             if config is not None:
                 token = self._intern_config(config)
             cursor = self._connection.execute(
                 "INSERT INTO tasks (run_id, task_index, cache_key, fn, "
                 "label, seed, params_json, config_token, source, "
-                "duration_s, result_pickle, result_json, created_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "duration_s, result_pickle, result_json, status, "
+                "created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     run_id,
                     index,
@@ -256,13 +317,16 @@ class ResultsDB:
                     duration_s,
                     blob,
                     _result_json(value),
+                    status,
                     time.time(),
                 ),
             )
             task_id = int(cursor.lastrowid)
             for metrics_index, metrics in enumerate(_iter_run_metrics(value)):
                 self._record_metrics(task_id, metrics_index, metrics)
-        return task_id
+            return task_id
+
+        return self._write(operation)
 
     def _intern_config(self, config: Any) -> str:
         """Upsert one ``SimConfig`` provenance row; returns its token."""
@@ -343,8 +407,8 @@ class ResultsDB:
         """
         claim = certificate.claim
         payload = certificate.to_json_dict()
-        with self._lock, self._connection:
-            cursor = self._connection.execute(
+        cursor = self._write(
+            lambda: self._connection.execute(
                 "INSERT INTO certificates (run_id, label, claim_kind, "
                 "metric, claim_json, verdict, confidence, n_observed, "
                 "budget, base_seed, trajectory_json, created_at) "
@@ -366,6 +430,7 @@ class ResultsDB:
                     time.time(),
                 ),
             )
+        )
         return int(cursor.lastrowid)
 
     # -------------------------------------------------------------- reading
@@ -481,20 +546,22 @@ class ResultsDB:
             return 0
         if keep_runs < 0:
             raise ValueError(f"keep_runs must be >= 0, got {keep_runs}")
-        with self._lock:
-            with self._connection:
-                cursor = self._connection.execute(
-                    "DELETE FROM runs WHERE run_id NOT IN "
-                    "(SELECT run_id FROM runs ORDER BY run_id DESC LIMIT ?)",
-                    (keep_runs,),
-                )
-                removed = cursor.rowcount
-                self._connection.execute(
-                    "DELETE FROM configs WHERE config_token NOT IN "
-                    "(SELECT DISTINCT config_token FROM tasks "
-                    " WHERE config_token IS NOT NULL)"
-                )
-            if removed:
+        def operation() -> int:
+            cursor = self._connection.execute(
+                "DELETE FROM runs WHERE run_id NOT IN "
+                "(SELECT run_id FROM runs ORDER BY run_id DESC LIMIT ?)",
+                (keep_runs,),
+            )
+            self._connection.execute(
+                "DELETE FROM configs WHERE config_token NOT IN "
+                "(SELECT DISTINCT config_token FROM tasks "
+                " WHERE config_token IS NOT NULL)"
+            )
+            return cursor.rowcount
+
+        removed = self._write(operation)
+        if removed:
+            with self._lock:
                 self._connection.execute("VACUUM")
         return removed
 

@@ -73,8 +73,12 @@ class JobStatus:
         state: current :class:`JobState`.
         priority: higher runs earlier.
         n_tasks: batch size.
-        n_done: completions so far (cache hits included).
+        n_done: completions so far (cache hits and quarantined tasks
+            included).
         n_cached: completions served from the pickle cache.
+        n_poisoned: tasks quarantined by the fleet supervisor after
+            repeatedly crashing their worker (``source="poisoned"``
+            completions; see ``docs/operations.md``).
         error: ``repr`` of the failure for ``FAILED`` jobs, else ``None``.
     """
 
@@ -85,6 +89,7 @@ class JobStatus:
     n_tasks: int
     n_done: int
     n_cached: int
+    n_poisoned: int = 0
     error: str | None = None
 
 
@@ -112,6 +117,9 @@ class _Job:
             n_done=len(self.completions),
             n_cached=sum(
                 1 for c in self.completions if c.source == "cache"
+            ),
+            n_poisoned=sum(
+                1 for c in self.completions if c.source == "poisoned"
             ),
             error=repr(self.error) if self.error is not None else None,
         )

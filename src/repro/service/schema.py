@@ -29,6 +29,14 @@ Tables (see ``docs/service.md`` for the SQL cookbook):
   :class:`repro.stats.Certificate`: the frozen claim spec, verdict,
   confidence, replicate count and the full sequential-decision
   trajectory, optionally tied to the campaign row whose tasks fed it.
+
+v3 (the self-healing execution layer, ``docs/operations.md``) adds a
+``tasks.status`` column — ``'ok'`` for ordinary completions,
+``'poisoned'`` for tasks quarantined by the
+:class:`~repro.runners.supervisor.FleetSupervisor` after repeatedly
+crashing their worker — and an ``'interrupted'`` state to the
+``runs.status`` CHECK for campaigns cut short by ``KeyboardInterrupt``
+with their completed cells checkpointed.
 """
 
 from __future__ import annotations
@@ -36,7 +44,7 @@ from __future__ import annotations
 import sqlite3
 
 #: The schema version this release writes (``PRAGMA user_version``).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Forward-only migration scripts; ``MIGRATIONS[i]`` upgrades a database
 #: from user_version ``i`` to ``i + 1``.
@@ -132,6 +140,36 @@ MIGRATIONS: tuple[str, ...] = (
     );
     CREATE INDEX idx_certificates_run ON certificates(run_id);
     """,
+    # v2 -> v3: self-healing execution layer (docs/operations.md).
+    #
+    # 1. tasks.status — 'ok' | 'poisoned' (a task quarantined by the
+    #    FleetSupervisor after repeatedly crashing its worker; its
+    #    result_pickle holds the PoisonedTask diagnostics).  Plain
+    #    ALTER: adding a CHECKed column with a non-null default is
+    #    legal SQLite and existing rows backfill to 'ok'.
+    # 2. runs.status gains 'interrupted' (KeyboardInterrupt with the
+    #    checkpoint flushed).  SQLite cannot alter a CHECK constraint,
+    #    so the table is recreated and repopulated; migrate() disables
+    #    foreign-key enforcement around the script, keeping the
+    #    tasks -> runs references intact through the rename.
+    """
+    ALTER TABLE tasks ADD COLUMN status TEXT NOT NULL DEFAULT 'ok'
+        CHECK (status IN ('ok', 'poisoned'));
+
+    CREATE TABLE runs_v3 (
+        run_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+        label       TEXT NOT NULL DEFAULT '',
+        status      TEXT NOT NULL DEFAULT 'running'
+                    CHECK (status IN ('running', 'completed', 'failed',
+                                      'cancelled', 'interrupted')),
+        n_tasks     INTEGER NOT NULL DEFAULT 0,
+        started_at  REAL NOT NULL,
+        finished_at REAL
+    );
+    INSERT INTO runs_v3 SELECT * FROM runs;
+    DROP TABLE runs;
+    ALTER TABLE runs_v3 RENAME TO runs;
+    """,
 )
 
 
@@ -159,11 +197,23 @@ def migrate(connection: sqlite3.Connection) -> int:
             f"results database is schema v{version}, newer than this "
             f"release's v{SCHEMA_VERSION}; upgrade repro to open it"
         )
+    if version == SCHEMA_VERSION:
+        return 0
+    # Table-recreating migrations (v3 rebuilds `runs` under its rows'
+    # feet) must run with foreign-key enforcement off; the pragma is a
+    # no-op inside a transaction, so commit any open one first and
+    # restore enforcement afterwards.  Each migration script still
+    # applies atomically in its own transaction.
+    connection.commit()
+    connection.execute("PRAGMA foreign_keys = OFF")
     applied = 0
-    for level in range(version, SCHEMA_VERSION):
-        with connection:  # one transaction per migration step
-            connection.executescript(MIGRATIONS[level])
-            # PRAGMA cannot be parameterised; `level + 1` is an int.
-            connection.execute(f"PRAGMA user_version = {level + 1}")
-        applied += 1
+    try:
+        for level in range(version, SCHEMA_VERSION):
+            with connection:  # one transaction per migration step
+                connection.executescript(MIGRATIONS[level])
+                # PRAGMA cannot be parameterised; `level + 1` is an int.
+                connection.execute(f"PRAGMA user_version = {level + 1}")
+            applied += 1
+    finally:
+        connection.execute("PRAGMA foreign_keys = ON")
     return applied

@@ -50,6 +50,37 @@ class TestRunnerArgumentValidation:
         assert args.cache_dir == str(target)
         assert target.is_dir()
 
+    def test_zero_max_attempts_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spread", "--max-attempts", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_negative_retry_backoff_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["certify", "--retry-backoff", "-1"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_nonpositive_task_timeout_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frontier", "--task-timeout", "0"])
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_retry_knobs_reach_experiment_options(self):
+        from repro.cli import _sweep_options
+
+        args = build_parser().parse_args(
+            [
+                "spread",
+                "--max-attempts", "3",
+                "--retry-backoff", "0.1",
+                "--task-timeout", "5",
+            ]
+        )
+        options = _sweep_options(args)
+        assert options.max_attempts == 3
+        assert options.retry_backoff_s == 0.1
+        assert options.task_timeout_s == 5.0
+
 
 class TestInfo:
     def test_prints_version(self, capsys):
@@ -261,6 +292,49 @@ class TestFrontier:
         output = capsys.readouterr().out
         assert "certified protocol-frontier envelope" in output
         assert "certified thresholds" in output
+
+
+class TestChaosService:
+    def test_defaults_suit_the_attacked_fleet(self):
+        args = build_parser().parse_args(["chaos-service"])
+        assert args.workers == 4
+        assert args.max_attempts == 5
+        assert args.injectors == [
+            "worker_kill", "task_hang", "corrupt_payload",
+        ]
+        assert args.levels == [0.0, 0.25, 0.5]
+
+    def test_rejects_unknown_injector(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["chaos-service", "--injectors", "cosmic_ray"]
+            )
+
+    def test_rejects_nonpositive_hang(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos-service", "--hang-s", "0"])
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_certifies_a_tiny_envelope(self, capsys):
+        code = main(
+            [
+                "chaos-service",
+                "--injectors", "worker_kill",
+                "--levels", "0.25",
+                "--tasks", "4",
+                "--target", "0.5",
+                "--indifference", "0.4",
+                "--alpha", "0.1",
+                "--beta", "0.1",
+                "--batch-size", "2",
+                "--max-replicates", "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "certified service tolerance envelope" in output
+        assert "certified service thresholds" in output
+        assert "lost tasks: 0" in output
 
 
 class TestPolicies:

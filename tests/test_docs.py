@@ -63,6 +63,7 @@ def test_docs_pages_exist():
         "protocol.md",
         "protocols-frontier.md",
         "service.md",
+        "operations.md",
         "stats.md",
     }
     present = {p.name for p in (REPO_ROOT / "docs").glob("*.md")}

@@ -85,6 +85,52 @@ class TestSchema:
             assert store.query("SELECT COUNT(*) AS n FROM tasks")[0]["n"] == 1
             assert store.certificates() == []
 
+    def test_v2_database_upgrades_adding_status_and_interrupted(
+        self, tmp_path
+    ):
+        """v2 -> v3: tasks grow a status column (backfilled 'ok') and the
+        recreated runs table accepts 'interrupted' with FKs intact."""
+        path = tmp_path / "v2.db"
+        connection = sqlite3.connect(path)
+        connection.executescript(MIGRATIONS[0])
+        connection.executescript(MIGRATIONS[1])
+        connection.execute("PRAGMA user_version = 2")
+        connection.execute(
+            "INSERT INTO runs (label, status, n_tasks, started_at) "
+            "VALUES ('legacy', 'completed', 1, 1.0)"
+        )
+        connection.execute(
+            "INSERT INTO tasks (run_id, task_index, cache_key, fn, "
+            "params_json, source, result_pickle, created_at) "
+            "VALUES (1, 0, 'k', 'm:f', '{}', 'executed', x'00', 1.0)"
+        )
+        connection.commit()
+        connection.close()
+        with ResultsDB(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            rows = store.query("SELECT status FROM tasks")
+            assert [row["status"] for row in rows] == ["ok"]
+            run_id = store.begin_run("cut-short")
+            store.finish_run(run_id, status="interrupted")
+            statuses = {run["status"] for run in store.runs()}
+            assert {"completed", "interrupted"} <= statuses
+            # The runs recreate kept the tasks -> runs cascade alive.
+            assert store.gc(keep_runs=0) == 2
+            assert (
+                store.query("SELECT COUNT(*) AS n FROM tasks")[0]["n"] == 0
+            )
+
+    def test_poisoned_task_status_is_recorded(self, db):
+        task = _spread_task(n=8, seed=1)
+        run_id = db.begin_run("quarantine")
+        db.record_task(run_id, 0, task, task.execute())
+        db.record_task(run_id, 1, task, {"reason": "crashed"},
+                       status="poisoned")
+        rows = db.query("SELECT status FROM tasks ORDER BY task_index")
+        assert [row["status"] for row in rows] == ["ok", "poisoned"]
+        with pytest.raises(sqlite3.IntegrityError):
+            db.record_task(run_id, 2, task, 1, status="exploded")
+
     def test_newer_schema_version_is_refused(self, tmp_path):
         path = tmp_path / "future.db"
         connection = sqlite3.connect(path)
@@ -279,6 +325,61 @@ class TestConcurrentWriters:
             assert len(store.runs()) == n_writers
             (count,) = store.query("SELECT COUNT(*) AS n FROM tasks")
             assert count["n"] == n_writers * per_writer
+
+
+class TestLockRetry:
+    def test_transient_lock_errors_are_retried_until_the_writer_yields(
+        self, tmp_path
+    ):
+        """A sibling hogging the write lock stalls a write, not loses it."""
+        path = tmp_path / "contended.db"
+        ResultsDB(path).close()  # migrate once up front
+        # check_same_thread=False: the lock is released from the timer
+        # thread below.
+        blocker = sqlite3.connect(path, check_same_thread=False)
+        blocker.execute("BEGIN IMMEDIATE")  # hold the write lock
+
+        def release() -> None:
+            blocker.commit()
+            blocker.close()
+
+        timer = threading.Timer(0.3, release)
+        try:
+            with ResultsDB(
+                path, timeout_s=0.05, lock_retries=8, lock_backoff_s=0.02
+            ) as store:
+                timer.start()
+                run_id = store.begin_run("contended")
+                store.finish_run(run_id)
+                assert store.lock_retries_used > 0
+            with ResultsDB(path) as store:
+                assert [run["label"] for run in store.runs()] == [
+                    "contended"
+                ]
+        finally:
+            timer.cancel()
+
+    def test_exhausted_lock_retries_propagate(self, tmp_path):
+        path = tmp_path / "stuck.db"
+        ResultsDB(path).close()
+        blocker = sqlite3.connect(path)
+        blocker.execute("BEGIN IMMEDIATE")
+        try:
+            with ResultsDB(
+                path, timeout_s=0.02, lock_retries=2, lock_backoff_s=0.0
+            ) as store:
+                with pytest.raises(sqlite3.OperationalError):
+                    store.begin_run("never-lands")
+                assert store.lock_retries_used == 2
+        finally:
+            blocker.rollback()
+            blocker.close()
+
+    def test_retry_knobs_are_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="lock_retries"):
+            ResultsDB(tmp_path / "x.db", lock_retries=-1)
+        with pytest.raises(ValueError, match="lock_backoff_s"):
+            ResultsDB(tmp_path / "y.db", lock_backoff_s=-0.1)
 
 
 class TestExportAndGc:

@@ -1,0 +1,169 @@
+"""Tests for the service-level chaos harness (repro.service.chaos)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ResultsDB
+from repro.service.chaos import (
+    DEFAULT_LEVELS,
+    INJECTORS,
+    ChaosSpec,
+    _planned_mode,
+    certify_service_envelope,
+    format_service_envelope,
+    run_campaign,
+    spec_for,
+)
+
+
+class TestChaosSpec:
+    def test_fraction_bounds_are_validated(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(kill_fraction=-0.1)
+        with pytest.raises(ValueError):
+            ChaosSpec(hang_fraction=1.5)
+        with pytest.raises(ValueError):
+            ChaosSpec(kill_fraction=0.6, hang_fraction=0.6)
+
+    def test_hang_and_strikes_are_validated(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(hang_s=0.0)
+        with pytest.raises(ValueError):
+            ChaosSpec(strikes=0)
+
+    def test_spec_for_rejects_unknown_injector(self):
+        with pytest.raises(ValueError, match="injector"):
+            spec_for("cosmic_ray", 0.5)
+
+    def test_spec_for_covers_every_registered_injector(self):
+        for injector in INJECTORS:
+            spec = spec_for(injector, 0.25)
+            total = (
+                spec.kill_fraction
+                + spec.hang_fraction
+                + spec.corrupt_fraction
+            )
+            assert total == pytest.approx(0.25)
+
+    def test_default_levels_start_at_zero(self):
+        assert DEFAULT_LEVELS[0] == 0.0
+
+
+class TestInjectionPlan:
+    def test_plan_is_deterministic_in_chaos_seed_and_task_seed(self):
+        spec = ChaosSpec(
+            kill_fraction=0.3,
+            hang_fraction=0.3,
+            corrupt_fraction=0.3,
+            chaos_seed=5,
+        )
+        modes = [_planned_mode(spec, seed) for seed in range(64)]
+        assert modes == [_planned_mode(spec, seed) for seed in range(64)]
+        assert set(modes) <= {"kill", "hang", "corrupt", None}
+        # With 64 draws at 30 % each, every mode appears (fixed seeds).
+        assert {"kill", "hang", "corrupt"} <= {m for m in modes if m}
+
+    def test_zero_intensity_plans_nothing(self):
+        spec = spec_for("worker_kill", 0.0)
+        assert all(_planned_mode(spec, seed) is None for seed in range(32))
+
+    def test_distinct_chaos_seeds_give_distinct_plans(self):
+        a = ChaosSpec(kill_fraction=0.5, chaos_seed=1)
+        b = ChaosSpec(kill_fraction=0.5, chaos_seed=2)
+        plans = [
+            tuple(_planned_mode(spec, seed) for seed in range(64))
+            for spec in (a, b)
+        ]
+        assert plans[0] != plans[1]
+
+
+class TestCampaign:
+    def test_corrupt_payload_campaign_stays_intact(self):
+        outcome = run_campaign(
+            spec_for("corrupt_payload", 0.5, chaos_seed=3),
+            n_tasks=6,
+            n_workers=2,
+            seed=3,
+        )
+        assert outcome.strikes >= 1
+        assert outcome.tasks_retried >= outcome.strikes
+        assert outcome.intact
+
+    def test_task_hang_campaign_stays_intact(self):
+        outcome = run_campaign(
+            spec_for("task_hang", 0.5, hang_s=1.0, chaos_seed=4),
+            n_tasks=4,
+            n_workers=2,
+            seed=4,
+        )
+        assert outcome.strikes >= 1
+        assert outcome.tasks_retried >= 1
+        assert outcome.intact
+
+    def test_undisturbed_campaign_is_trivially_intact(self):
+        outcome = run_campaign(
+            spec_for("worker_kill", 0.0), n_tasks=3, n_workers=2, seed=1
+        )
+        assert outcome.strikes == 0
+        assert outcome.pool_rebuilds == 0
+        assert outcome.intact
+
+    def test_outcome_json_summary(self):
+        outcome = run_campaign(
+            spec_for("worker_kill", 0.0), n_tasks=2, n_workers=2, seed=2
+        )
+        document = outcome.to_json_dict()
+        assert document["n_tasks"] == 2
+        assert document["intact"] is True
+        assert document["lost"] == 0
+        assert set(document) >= {
+            "identical",
+            "strikes",
+            "pool_rebuilds",
+            "tasks_retried",
+            "tasks_poisoned",
+        }
+
+    def test_campaign_rejects_empty(self):
+        with pytest.raises(ValueError, match="n_tasks"):
+            run_campaign(spec_for("worker_kill", 0.0), n_tasks=0)
+
+
+class TestServiceEnvelope:
+    # Loose SPRT settings keep the sequential test tiny: the claim
+    # decides after a couple of intact replicates.
+    _FAST = dict(
+        n_tasks=4,
+        target=0.5,
+        indifference=0.4,
+        alpha=0.1,
+        beta=0.1,
+        batch_size=2,
+        max_replicates=4,
+    )
+
+    def test_worker_kill_cell_certifies_and_records(self, tmp_path):
+        with ResultsDB(tmp_path / "service.db") as db:
+            envelope = certify_service_envelope(
+                injectors=("worker_kill",),
+                levels=(0.25,),
+                db=db,
+                **self._FAST,
+            )
+            assert envelope.thresholds["worker_kill"] == 0.25
+            (cell,) = envelope.cells
+            assert cell.certificate.verdict.value == "accept"
+            assert cell.probe.intact
+            assert db.certificates()
+
+        text = format_service_envelope(envelope)
+        assert "certified service thresholds" in text
+        assert "lost tasks: 0" in text
+        assert "worker_kill" in text
+
+    def test_unknown_injector_is_rejected_before_any_run(self):
+        with pytest.raises(ValueError, match="injector"):
+            certify_service_envelope(
+                injectors=("solar_storm",), levels=(0.0,), **self._FAST
+            )
